@@ -1,0 +1,23 @@
+"""Section III area claim: chaining adds <2% cell area.
+
+The paper implements the extension in GF12LP+ and reports <2% cell-area
+increase and negligible frequency degradation.  We size the chaining
+additions structurally (mask CSR, valid bits, backpressure handshake,
+issue-rule changes) against kGE figures for a Snitch-class core complex.
+"""
+
+from repro.energy.area import AreaModel
+from repro.eval.report import format_table
+
+
+def test_area_overhead(benchmark):
+    model = benchmark.pedantic(AreaModel, rounds=1, iterations=1)
+    rows = [[name, kge] for name, kge in model.breakdown().items()]
+    print()
+    print(format_table(["component", "kGE"], rows,
+                       title="Cluster area model"))
+    print(f"\nchaining overhead: {model.overhead_core_percent:.2f}% of the "
+          f"core complex ({model.overhead_cluster_percent:.3f}% of the "
+          f"cluster incl. TCDM)  --  paper: <2%")
+    assert model.overhead_core_percent < 2.0
+    assert model.chaining_kge < 5.0

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Define a custom stencil and run it through the chaining pipeline.
+
+Shows the library as a downstream user would drive it: declare a stencil
+(here an anisotropic 3-D star with 11 taps), pick a grid, generate the
+Chaining+ kernel, run it, and verify against the numpy golden model --
+plus a look at the register plan that the budget allocator produced.
+
+Run with:  python examples/custom_stencil.py
+"""
+
+import numpy as np
+
+from repro import Grid3d, StencilSpec, Variant, build_stencil, run_build
+
+
+def make_anisotropic_star() -> StencilSpec:
+    """An 11-tap star with a longer reach along x."""
+    taps = [
+        (0, 0, 0),
+        (-1, 0, 0), (1, 0, 0),
+        (0, -1, 0), (0, 1, 0),
+        (0, 0, -2), (0, 0, -1), (0, 0, 1), (0, 0, 2),
+        (0, -1, -1), (0, 1, 1),
+    ]
+    raw = np.linspace(1.0, 2.0, len(taps))
+    coeffs = tuple(raw / raw.sum())
+    return StencilSpec("aniso_star", tuple(taps), coeffs)
+
+
+def main() -> None:
+    spec = make_anisotropic_star()
+    grid = Grid3d(nz=2, ny=6, nx=32, radius=2)
+
+    for variant in (Variant.BASE, Variant.CHAINING_PLUS):
+        build = build_stencil(spec, grid, variant)
+        result = run_build(build)
+        print(f"{spec.name} / {variant.label}:")
+        print(f"  register plan : {build.meta['register_plan']}")
+        print(f"  bit-exact     : {result.correct}")
+        print(f"  fpu util      : {result.fpu_utilization:.3f}")
+        print(f"  cycles/point  : {result.cycles_per_point:.2f}")
+        print(f"  energy eff    : {result.gflops_per_watt:.2f} Gflop/s/W")
+        print()
+
+    print("Any tap set works: non-cube patterns ride the SARIS-style")
+    print("indirect input stream, and the register allocator decides how")
+    print("many coefficients stay resident per variant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Chaining beyond stencils: reductions and a dual-chain complex dot.
+
+The paper evaluates stencils; this example shows the same mechanism on
+three reduction-shaped kernels:
+
+* ``dot``  -- four partial sums live in ONE chaining register's FIFO
+  instead of four architectural registers;
+* ``gemv`` -- the chained reduction repeated per matrix row;
+* ``cdot`` -- complex dot with TWO chaining registers (real/imaginary)
+  sharing the FPU pipeline, fed by an affine-with-repeat stream and a
+  SARIS-style indirect stream.
+
+Run with:  python examples/linalg_reductions.py
+"""
+
+from repro.eval.report import format_table
+from repro.eval.runner import run_build
+from repro.kernels.linalg import (
+    LinalgVariant,
+    build_axpy,
+    build_cdot,
+    build_dot,
+    build_gemv,
+)
+
+
+def main() -> None:
+    builds = [
+        ("axpy (control)", build_axpy(n=256)),
+        ("dot baseline", build_dot(n=256, variant=LinalgVariant.BASELINE)),
+        ("dot chaining", build_dot(n=256, variant=LinalgVariant.CHAINING)),
+        ("gemv baseline", build_gemv(rows=16, n=64,
+                                     variant=LinalgVariant.BASELINE)),
+        ("gemv chaining", build_gemv(rows=16, n=64,
+                                     variant=LinalgVariant.CHAINING)),
+        ("cdot dual-chain", build_cdot(n=128)),
+    ]
+    rows = []
+    for name, build in builds:
+        result = run_build(build)
+        rows.append([
+            name,
+            result.fpu_utilization,
+            result.region_cycles,
+            build.meta.get("arch_accumulators", "-"),
+            "yes" if result.correct else "NO",
+        ])
+    print(format_table(
+        ["kernel", "fpu util", "cycles", "arch accumulators", "correct"],
+        rows, title="Reductions with scalar chaining"))
+    print()
+    print("dot/gemv: chaining matches the unrolled baseline's cycles with")
+    print("a single accumulator register; cdot runs TWO chains (re + im)")
+    print("through the shared FPU pipe at two partials each.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""SPMD multi-core: split a stencil-style sweep across cluster cores.
+
+The paper's experiments instantiate a Snitch cluster with one compute
+core; real clusters ship several sharing the TCDM.  This example runs a
+chained vector kernel SPMD on 1, 2 and 4 cores: each hart picks its slice
+via ``mhartid``, configures its own SSR lanes, runs the chaining loop,
+and meets at the hardware barrier.
+
+Run with:  python examples/multicore_stencil.py
+"""
+
+import numpy as np
+
+from repro.core import Cluster
+from repro.eval.report import format_table
+from repro.kernels.ssrgen import SsrPatternAsm
+from repro.ssr.config import CfgField, cfg_addr
+
+N = 512          # doubles, split evenly across cores
+IN_C = 0x10000
+IN_D = 0x20000
+OUT_A = 0x30000
+SCALAR = 0x1000
+
+
+def program(num_cores: int) -> str:
+    per_core = N // num_cores
+    chunk_bytes = per_core * 8
+    # SSR patterns with a placeholder base; each hart rebases its slice.
+    ssr0 = SsrPatternAsm(ssr=0, base=IN_C, bounds=[per_core], strides=[8])
+    ssr1 = SsrPatternAsm(ssr=1, base=IN_D, bounds=[per_core], strides=[8])
+    ssr2 = SsrPatternAsm(ssr=2, base=OUT_A, bounds=[per_core], strides=[8],
+                         write=True)
+    rebase = "\n".join(
+        f"""    li t0, {base}
+    add t0, t0, a5
+    li t1, {cfg_addr(ssr, CfgField.BASE)}
+    scfgw t0, t1
+    li t0, {ctrl}
+    li t1, {cfg_addr(ssr, CfgField.CTRL)}
+    scfgw t0, t1"""
+        for ssr, base, ctrl in ((0, IN_C, 0), (1, IN_D, 0), (2, OUT_A, 1))
+    )
+    return f"""
+    csrr a4, mhartid
+    li a5, {chunk_bytes}
+    mul a5, a4, a5          # byte offset of this hart's slice
+    li a0, {SCALAR}
+    fld fa0, 0(a0)
+{ssr0.emit_setup()}
+{ssr1.emit_setup()}
+{ssr2.emit_setup()}
+{rebase}
+    csrrwi x0, chain_mask, 8
+    csrrsi x0, ssr_enable, 1
+    li t2, {per_core // 4 - 1}
+    frep.o t2, 7
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fadd.d ft3, ft0, ft1
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    fmul.d ft2, ft3, fa0
+    csrr t3, ssr_enable     # drain barrier (FP side)
+    csrrwi x0, 0x7C6, 1     # cluster barrier
+    csrrwi x0, chain_mask, 0
+    csrrci x0, ssr_enable, 1
+    ebreak
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    c, d = rng.random(N), rng.random(N)
+    golden = (c + d) * 2.5
+
+    rows = []
+    baseline_cycles = None
+    for num_cores in (1, 2, 4):
+        cluster = Cluster(program(num_cores), num_cores=num_cores)
+        cluster.mem.write_f64(SCALAR, 2.5)
+        cluster.load_f64(IN_C, c)
+        cluster.load_f64(IN_D, d)
+        cluster.run()
+        out = cluster.read_f64(OUT_A, (N,))
+        assert np.array_equal(out, golden), f"{num_cores} cores: mismatch"
+        if baseline_cycles is None:
+            baseline_cycles = cluster.cycle
+        rows.append([num_cores, cluster.cycle,
+                     baseline_cycles / cluster.cycle,
+                     cluster.tcdm.total_conflicts])
+    print(format_table(
+        ["cores", "cycles", "speedup", "TCDM conflicts"],
+        rows, title=f"SPMD chained vecop over {N} doubles"))
+    print()
+    print("Each hart streams its own slice through its private SSR lanes;")
+    print("sub-linear scaling comes from shared-TCDM bank conflicts and")
+    print("the fixed per-hart configuration prologue.")
+
+
+if __name__ == "__main__":
+    main()

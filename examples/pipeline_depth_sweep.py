@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Sweep the FPU pipeline depth: chaining benefits grow with depth.
+
+Section II of the paper notes that "chaining benefits are increased for
+functional units with deeper pipelines": a deeper pipe means unrolling
+needs more architectural registers, while chaining still needs one.  This
+example sweeps the pipe depth, compares baseline vs. chaining utilization
+on the Fig. 1 vector op, and reports the registers a software-only unroll
+would burn at each depth.
+
+Run with:  python examples/pipeline_depth_sweep.py
+"""
+
+from repro import CoreConfig, VecopVariant, build_vecop, run_build
+from repro.eval.report import format_table
+from repro.isa.instructions import InstrClass
+
+
+def config_with_depth(depth: int) -> CoreConfig:
+    cfg = CoreConfig()
+    cfg.fpu_latency = dict(cfg.fpu_latency)
+    for iclass in (InstrClass.FP_ADD, InstrClass.FP_MUL, InstrClass.FP_FMA):
+        cfg.fpu_latency[iclass] = depth
+    cfg.fpu_pipe_depth = depth
+    return cfg
+
+
+def main() -> None:
+    rows = []
+    # Depth 7 is the frep-body limit (2*(depth+1) <= 16 instructions).
+    for depth in (1, 2, 3, 4, 5, 6):
+        cfg = config_with_depth(depth)
+        n = 24 * (depth + 1)
+        base = run_build(build_vecop(n=n, variant=VecopVariant.BASELINE,
+                                     cfg=cfg), cfg=cfg)
+        chain = run_build(build_vecop(n=n, variant=VecopVariant.CHAINING,
+                                      cfg=cfg), cfg=cfg)
+        rows.append([
+            depth,
+            base.fpu_utilization,
+            chain.fpu_utilization,
+            chain.fpu_utilization / base.fpu_utilization,
+            depth + 1,   # registers a software unroll would need
+            1,           # registers chaining needs
+        ])
+    print(format_table(
+        ["pipe depth", "baseline util", "chaining util", "gain x",
+         "unroll regs", "chain regs"],
+        rows,
+        title="FPU pipeline depth sweep (Fig. 1 vector op)",
+    ))
+    print()
+    print("Deeper pipes widen the gap: the baseline loses `depth` slots")
+    print("per dependent pair while chaining stays near full throughput")
+    print("with a single architectural register.")
+
+
+if __name__ == "__main__":
+    main()

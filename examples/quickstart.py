@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Fig. 1 in thirty lines.
+
+Runs the vector operation ``a = b * (c + d)`` on the simulated Snitch-like
+core in the three forms of the paper's Fig. 1 -- baseline, loop-unrolled,
+and chaining -- and prints FPU utilization, cycle count and how many
+architectural accumulator registers each variant needed.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import VecopVariant, build_vecop, run_build
+from repro.eval.report import format_table
+
+
+def main() -> None:
+    n = 256
+    rows = []
+    for variant in VecopVariant:
+        build = build_vecop(n=n, variant=variant)
+        result = run_build(build)
+        rows.append([
+            variant.value,
+            result.fpu_utilization,
+            result.region_cycles,
+            build.meta["arch_accumulators"],
+            "yes" if result.correct else "NO",
+        ])
+    print(format_table(
+        ["variant", "fpu util", "cycles", "arch accumulators", "correct"],
+        rows,
+        title=f"Fig. 1 vector op a = b*(c+d), n={n} doubles",
+    ))
+    print()
+    print("Chaining reaches unrolled throughput with a single accumulator")
+    print("register: the FPU pipeline registers provide the other three.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro: scalar chaining for RISC-V in-order cores.
+
+A cycle-level, hazard-faithful reproduction of
+
+    "Late Breaking Results: A RISC-V ISA Extension for Chaining in Scalar
+    Processors" (Colagrande, Jonnalagadda, Benini -- DATE 2025).
+
+Quick start::
+
+    from repro import Cluster, build_vecop, run_build, VecopVariant
+
+    build = build_vecop(n=256, variant=VecopVariant.CHAINING)
+    result = run_build(build)
+    print(result.fpu_utilization, result.power_mw)
+
+Package map:
+
+* :mod:`repro.isa`     -- RV32IM + F/D + Xssr/Xfrep/Xchain, assembler
+* :mod:`repro.core`    -- the Snitch-like core and the chaining extension
+* :mod:`repro.ssr`     -- stream semantic registers (affine + indirect)
+* :mod:`repro.mem`     -- banked TCDM model
+* :mod:`repro.kernels` -- Fig. 1 vecop and SARIS-style stencil generators
+* :mod:`repro.energy`  -- event-based energy/power and area models
+* :mod:`repro.eval`    -- run harness and figure regeneration
+* :mod:`repro.trace`   -- issue traces (Fig. 1c) and dataflow (Fig. 2)
+"""
+
+from repro.core import ChainController, Cluster, CoreConfig
+from repro.energy import AreaModel, EnergyModel, EnergyParams
+from repro.eval import RunResult, geomean, run_build, run_stencil_variant
+from repro.isa import assemble, decode, disassemble, encode
+from repro.kernels import (
+    Grid3d,
+    KernelBuild,
+    StencilSpec,
+    Variant,
+    VecopVariant,
+    box3d1r,
+    build_stencil,
+    build_vecop,
+    j3d27pt,
+    star3d1r,
+)
+from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaModel",
+    "ChainController",
+    "Cluster",
+    "CoreConfig",
+    "EnergyModel",
+    "EnergyParams",
+    "Grid3d",
+    "KernelBuild",
+    "RunResult",
+    "StencilSpec",
+    "TraceRecorder",
+    "Variant",
+    "VecopVariant",
+    "__version__",
+    "assemble",
+    "box3d1r",
+    "build_stencil",
+    "build_vecop",
+    "decode",
+    "disassemble",
+    "encode",
+    "geomean",
+    "j3d27pt",
+    "render_dataflow",
+    "render_issue_trace",
+    "run_build",
+    "run_stencil_variant",
+    "star3d1r",
+]

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artifacts:
+
+* ``fig1``   -- the three vector-op variants of Fig. 1;
+* ``fig3``   -- the full 2-kernel x 5-variant evaluation of Fig. 3;
+* ``claims`` -- the section III geomean claims, paper vs. measured;
+* ``run``    -- a single kernel/variant with full metrics;
+* ``trace``  -- the Fig. 1c / Fig. 2 issue and dataflow traces;
+* ``area``   -- the area-overhead estimate;
+* ``list``   -- available kernels and variants.
+
+``--json PATH`` on the data-producing commands writes machine-readable
+results for downstream processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.cluster import Cluster
+from repro.energy.area import AreaModel
+from repro.eval.figures import (
+    PAPER_CLAIMS,
+    PAPER_FIG3_POWER_MW,
+    PAPER_FIG3_UTILIZATION,
+    claims_from_results,
+    fig1_data,
+    fig3_data,
+)
+from repro.eval.report import format_table
+from repro.eval.runner import RunResult, run_stencil_variant
+from repro.kernels.build import MARK_START
+from repro.kernels.layout import Grid3d
+from repro.kernels.registry import kernel_names
+from repro.kernels.variants import VARIANT_ORDER, Variant
+from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
+
+
+def _result_record(result: RunResult) -> dict:
+    return {
+        "name": result.name,
+        "correct": result.correct,
+        "cycles": result.cycles,
+        "region_cycles": result.region_cycles,
+        "fpu_utilization": round(result.fpu_utilization, 4),
+        "power_mw": round(result.power_mw, 2),
+        "gflops": round(result.gflops, 3),
+        "gflops_per_watt": round(result.gflops_per_watt, 3),
+        "cycles_per_point": round(result.cycles_per_point, 3),
+        "stalls": result.stalls,
+    }
+
+
+def _maybe_write_json(path: str | None, payload) -> None:
+    if path:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+
+def _variant_by_label(label: str) -> Variant:
+    for variant in Variant:
+        if variant.label.lower() == label.lower():
+            return variant
+    options = ", ".join(v.label for v in Variant)
+    raise SystemExit(f"unknown variant {label!r}; choose from: {options}")
+
+
+def cmd_fig1(args) -> int:
+    results = fig1_data(n=args.n)
+    rows = [[name, res.fpu_utilization, res.region_cycles,
+             res.meta["arch_accumulators"]]
+            for name, res in results.items()]
+    print(format_table(
+        ["variant", "fpu util", "cycles", "arch accumulators"], rows,
+        title=f"Fig. 1: a = b*(c+d), n={args.n}"))
+    _maybe_write_json(args.json, {name: _result_record(res)
+                                  for name, res in results.items()})
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    kernels = tuple(args.kernel) if args.kernel else ("box3d1r", "j3d27pt")
+    results = fig3_data(kernels=kernels)
+    rows = []
+    for (kernel, label), res in results.items():
+        paper_util = PAPER_FIG3_UTILIZATION.get(kernel, {}).get(
+            _variant_by_label(label))
+        paper_power = PAPER_FIG3_POWER_MW.get(kernel, {}).get(
+            _variant_by_label(label))
+        rows.append([kernel, label,
+                     paper_util if paper_util is not None else "-",
+                     round(res.fpu_utilization, 3),
+                     paper_power if paper_power is not None else "-",
+                     round(res.power_mw, 1)])
+    print(format_table(
+        ["kernel", "variant", "util(paper)", "util(ours)",
+         "mW(paper)", "mW(ours)"],
+        rows, title="Fig. 3: utilization and power"))
+    _maybe_write_json(args.json, {
+        f"{kernel}/{label}": _result_record(res)
+        for (kernel, label), res in results.items()
+    })
+    return 0
+
+
+def cmd_claims(args) -> int:
+    results = fig3_data()
+    claims = claims_from_results(results).as_dict()
+    rows = [[key, PAPER_CLAIMS.get(key, "-"), round(value, 2)]
+            for key, value in claims.items()]
+    print(format_table(["claim", "paper", "measured"], rows,
+                       title="Section III claims"))
+    _maybe_write_json(args.json, claims)
+    return 0
+
+
+def cmd_run(args) -> int:
+    variant = _variant_by_label(args.variant)
+    grid = None
+    if args.nz or args.ny or args.nx:
+        if not (args.nz and args.ny and args.nx):
+            raise SystemExit("--nz/--ny/--nx must be given together")
+        grid = Grid3d(nz=args.nz, ny=args.ny, nx=args.nx)
+    result = run_stencil_variant(args.kernel, variant, grid=grid)
+    record = _result_record(result)
+    for key, value in record.items():
+        print(f"{key:18s} {value}")
+    _maybe_write_json(args.json, record)
+    return 0 if result.correct else 1
+
+
+def cmd_trace(args) -> int:
+    variant = VecopVariant(args.variant)
+    build = build_vecop(n=args.n, variant=variant, loop_mode=args.loop)
+    trace = TraceRecorder()
+    cluster = Cluster(build.asm, trace=trace)
+    build.load_into(cluster)
+    cluster.run()
+    start = cluster.perf.marks[MARK_START].cycle
+    print(render_issue_trace(trace, start_cycle=start,
+                             max_slots=args.slots, show_int=True))
+    if variant is VecopVariant.CHAINING:
+        print()
+        print(render_dataflow(trace, chain_reg=3, start_cycle=start,
+                              max_slots=args.slots))
+    return 0
+
+
+def cmd_area(args) -> int:
+    model = AreaModel()
+    rows = [[name, kge] for name, kge in model.breakdown().items()]
+    print(format_table(["component", "kGE"], rows, title="Area model"))
+    print(f"chaining overhead: {model.overhead_core_percent:.2f}% of core "
+          f"complex (paper: <2%)")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("kernels: " + ", ".join(kernel_names()))
+    print("variants: " + ", ".join(v.label for v in VARIANT_ORDER))
+    print("vecop variants: " + ", ".join(v.value for v in VecopVariant))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalar-chaining reproduction harness (DATE 2025 LBR)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="Fig. 1 vector-op variants")
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--json")
+    p.set_defaults(func=cmd_fig1)
+
+    p = sub.add_parser("fig3", help="Fig. 3 utilization + power")
+    p.add_argument("--kernel", action="append",
+                   help="restrict to one or more kernels")
+    p.add_argument("--json")
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("claims", help="section III geomean claims")
+    p.add_argument("--json")
+    p.set_defaults(func=cmd_claims)
+
+    p = sub.add_parser("run", help="run one kernel/variant")
+    p.add_argument("--kernel", default="box3d1r")
+    p.add_argument("--variant", default="Chaining+")
+    p.add_argument("--nz", type=int)
+    p.add_argument("--ny", type=int)
+    p.add_argument("--nx", type=int)
+    p.add_argument("--json")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("trace", help="Fig. 1c / Fig. 2 traces")
+    p.add_argument("--variant", default="chaining",
+                   choices=[v.value for v in VecopVariant])
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--loop", default="bne", choices=["bne", "frep"])
+    p.add_argument("--slots", type=int, default=24)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("area", help="area-overhead estimate")
+    p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("list", help="available kernels and variants")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Scalar chaining -- the paper's ISA extension (section II).
+
+A 32-bit mask CSR (``0x7C3``, :data:`repro.isa.csr.CSR.CHAIN_MASK`) selects
+which architectural FP registers carry *FIFO semantics*:
+
+* a **read** of a chaining-enabled register at instruction issue *pops*:
+  it stalls while the register's valid bit is clear, then consumes the
+  value and clears the bit;
+* a **write** is decoupled from issue: there is no WAW hazard between
+  successive writers; the result travels through the FPU pipeline and
+  *pushes* into the architectural register at writeback, setting the valid
+  bit;
+* if the valid bit is still set when a result reaches writeback, the
+  writeback is refused and the (rigid, in-order) FPU pipeline stalls --
+  the backpressure mechanism that keeps unconsumed elements from being
+  overwritten (the orange issue slot of the paper's Fig. 1c).
+
+The logical FIFO is therefore the FPU pipeline registers concatenated with
+the architectural register: capacity ``fpu_pipe_depth + 1``, with no
+additional storage -- which is the entire point of the technique.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_FP_REGS
+
+
+class ChainController:
+    """Mask CSR, valid bits, and push/pop rules for chaining registers."""
+
+    def __init__(self, num_regs: int = NUM_FP_REGS,
+                 concurrent_push_pop: bool = True):
+        self.num_regs = num_regs
+        self.mask = 0
+        self.valid = [False] * num_regs
+        self.concurrent_push_pop = concurrent_push_pop
+        #: Registers popped in the current cycle (cleared by
+        #: :meth:`begin_cycle`); enables same-cycle pop+push when
+        #: ``concurrent_push_pop`` is set.
+        self._popped_this_cycle: set[int] = set()
+        #: Valid bits as of the top of the cycle; the conservative mode
+        #: bases push acceptance on these, refusing pushes into a register
+        #: that was still occupied when the cycle began.
+        self._valid_at_start = [False] * num_regs
+        # Statistics.
+        self.pushes = 0
+        self.pops = 0
+        self.backpressure_events = 0
+
+    # -- CSR interface -------------------------------------------------------
+
+    def write_mask(self, mask: int) -> None:
+        """Install a new chaining mask (CSR write side effect).
+
+        Newly enabled registers start with an *empty* FIFO (valid clear);
+        registers leaving chaining mode keep their last value and revert to
+        plain semantics.  Software must drain a chaining register before
+        disabling it, as in the paper's listings.
+        """
+        mask &= (1 << self.num_regs) - 1
+        newly_enabled = mask & ~self.mask
+        for reg in range(self.num_regs):
+            if newly_enabled >> reg & 1:
+                self.valid[reg] = False
+        self.mask = mask
+
+    def read_mask(self) -> int:
+        return self.mask
+
+    def status(self) -> int:
+        """Valid bits packed into an int (the ``chain_status`` CSR)."""
+        out = 0
+        for reg in range(self.num_regs):
+            if self.valid[reg]:
+                out |= 1 << reg
+        return out
+
+    # -- queries -------------------------------------------------------------
+
+    def enabled(self, reg: int) -> bool:
+        """True when register ``reg`` currently has FIFO semantics."""
+        return bool(self.mask >> reg & 1)
+
+    def can_pop(self, reg: int) -> bool:
+        """True when a read of chaining register ``reg`` would not stall."""
+        return self.valid[reg]
+
+    def can_push(self, reg: int) -> bool:
+        """True when a writeback to ``reg`` would be accepted this cycle.
+
+        In the default (concurrent) mode a push is accepted when the
+        register is empty or was popped earlier in this cycle.  In the
+        conservative mode the register must already have been empty at
+        the top of the cycle -- each wrap-around then costs a bubble, and
+        the sustainable unroll drops to the pipe depth (see the ablation
+        benchmarks).
+        """
+        if self.concurrent_push_pop:
+            if not self.valid[reg]:
+                return True
+            return reg in self._popped_this_cycle
+        return not self._valid_at_start[reg] and not self.valid[reg]
+
+    # -- datapath ------------------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        """Reset per-cycle pop tracking (call once at the top of a cycle)."""
+        self._popped_this_cycle.clear()
+        self._valid_at_start = list(self.valid)
+
+    def note_pop(self, reg: int) -> None:
+        """Record that ``reg`` was popped at issue; clears the valid bit."""
+        self.valid[reg] = False
+        self._popped_this_cycle.add(reg)
+        self.pops += 1
+
+    def note_push(self, reg: int) -> None:
+        """Record a successful writeback push into ``reg``."""
+        self.valid[reg] = True
+        self.pushes += 1
+
+    def note_backpressure(self) -> None:
+        self.backpressure_events += 1

@@ -1,0 +1,191 @@
+"""Cluster top level: one Snitch-like compute core + TCDM + SSRs.
+
+Matches the paper's experimental platform (a Snitch cluster with one
+compute core).  :meth:`Cluster.run` steps the whole system cycle by cycle
+until the program halts (``ebreak``) and all decoupled work -- the FP
+queue, the FPU pipe, the LSUs and the SSR write streamers -- has drained.
+
+Per-cycle component order (rationale in :mod:`repro.core.fp_subsystem`):
+
+1. FP subsystem (issue, then writeback),
+2. integer core (dispatches become visible to the FPU next cycle),
+3. SSR streamers (consume TCDM grants, post new requests),
+4. TCDM arbitration (grants are visible to requesters next cycle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CoreConfig
+from repro.core.fp_subsystem import FpSubsystem
+from repro.core.int_core import IntCore
+from repro.core.perf import PerfCounters
+from repro.isa.assembler import Program, assemble
+from repro.mem.dma import DmaEngine
+from repro.mem.memory import Allocator, Memory
+from repro.mem.tcdm import Tcdm
+
+
+class SimulationTimeout(RuntimeError):
+    """The cycle budget was exhausted before the program finished."""
+
+
+class SimulationDeadlock(RuntimeError):
+    """The program halted but decoupled work can make no progress."""
+
+
+class Cluster:
+    """One compute cluster: integer core, FP subsystem, SSRs, TCDM."""
+
+    def __init__(self, program: Program | str,
+                 cfg: CoreConfig | None = None,
+                 symbols: dict[str, int] | None = None,
+                 trace=None, num_cores: int = 1):
+        self.cfg = cfg or CoreConfig()
+        self.cfg.validate()
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        if isinstance(program, str):
+            program = assemble(program, symbols=symbols)
+        self.program = program
+        self.num_cores = num_cores
+        self.mem = Memory(self.cfg.mem_size)
+        self.tcdm = Tcdm(self.mem, self.cfg.tcdm_banks,
+                         self.cfg.tcdm_bank_width)
+        self.perf = PerfCounters()
+        self.trace = trace
+        if self.cfg.fetch_from_memory:
+            self._install_program_image()
+        self.dma = DmaEngine(self.mem, self.cfg.dma_bytes_per_cycle)
+        # One FP subsystem (FPU + SSRs + LSU) per compute core, all
+        # sharing the banked TCDM -- the Snitch cluster organization.
+        # The SPMD program is shared; cores branch on mhartid.
+        self.fps: list[FpSubsystem] = []
+        self.cores: list[IntCore] = []
+        for hart in range(num_cores):
+            fp = FpSubsystem(self.cfg, self.tcdm, self.perf, trace
+                             if hart == 0 else None)
+            core = IntCore(self.cfg, program, self.tcdm, fp, self.perf,
+                           trace if hart == 0 else None, dma=self.dma,
+                           hart_id=hart)
+            self.fps.append(fp)
+            self.cores.append(core)
+        # Single-core convenience aliases (the common case and the
+        # entire paper evaluation).
+        self.fp = self.fps[0]
+        self.core = self.cores[0]
+        if trace is not None and hasattr(trace, "attach"):
+            trace.attach(self.fp)
+        self.cycle = 0
+
+    def _install_program_image(self) -> None:
+        """Encode the program into memory for binary-fetch mode."""
+        words = self.program.encode_words()
+        end = self.program.base + 4 * len(words)
+        if end > 0x1000:
+            raise ValueError(
+                f"program image of {len(words)} instructions reaches "
+                f"{end:#x}, colliding with the data region at 0x1000; "
+                f"relocate via Program.base"
+            )
+        for i, word in enumerate(words):
+            self.mem.write_u32(self.program.base + 4 * i, word)
+
+    # -- data placement helpers ---------------------------------------------
+
+    def allocator(self, base: int = 0x1000) -> Allocator:
+        """Bump allocator for laying out arrays in the TCDM."""
+        return Allocator(base)
+
+    def load_f64(self, addr: int, array: np.ndarray) -> None:
+        """Place a float64 array into memory."""
+        self.mem.write_array(addr, np.asarray(array, dtype=np.float64))
+
+    def read_f64(self, addr: int, shape: tuple[int, ...]) -> np.ndarray:
+        return self.mem.read_array(addr, shape, np.float64)
+
+    def load_u32(self, addr: int, array: np.ndarray) -> None:
+        self.mem.write_array(addr, np.asarray(array, dtype=np.uint32))
+
+    # -- simulation ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Program halted and every decoupled unit has drained."""
+        return (all(core.halted for core in self.cores)
+                and all(fp.idle and fp.streamers_done()
+                        for fp in self.fps)
+                and self.dma.idle)
+
+    def _release_barrier(self) -> None:
+        """Open the cluster barrier once every live core has arrived.
+
+        Cores that already halted count as arrived; a single-core
+        barrier opens immediately on the next cycle.
+        """
+        waiting = [c for c in self.cores if c.barrier_wait]
+        if not waiting:
+            return
+        if all(c.halted or c.barrier_wait for c in self.cores):
+            for core in waiting:
+                core.barrier_wait = False
+            self.perf.bump("barriers")
+
+    def step(self) -> None:
+        """Advance the whole cluster by one cycle."""
+        for fp, core in zip(self.fps, self.cores):
+            fp.step(self.cycle)
+            core.step(self.cycle)
+            for streamer in fp.streamers:
+                streamer.step()
+        self._release_barrier()
+        self.dma.step()
+        self.tcdm.arbitrate()
+        self.cycle += 1
+        self.perf.cycles = self.cycle
+
+    def run(self, max_cycles: int = 5_000_000) -> PerfCounters:
+        """Run to completion; returns the performance counters."""
+        quiet_cycles = 0
+        last_progress = self._progress_token()
+        while not self.done:
+            if self.cycle >= max_cycles:
+                raise SimulationTimeout(
+                    f"no completion after {max_cycles} cycles "
+                    f"(pc={self.core.pc:#x}, halted={self.core.halted})"
+                )
+            self.step()
+            token = self._progress_token()
+            if self.core.halted:
+                quiet_cycles = 0 if token != last_progress else \
+                    quiet_cycles + 1
+                if quiet_cycles > 64:
+                    raise SimulationDeadlock(
+                        "halted but the FP subsystem or an SSR write "
+                        "stream cannot drain (under-produced stream or "
+                        "starved chaining pop?)"
+                    )
+            last_progress = token
+        return self.perf
+
+    def _progress_token(self) -> tuple:
+        """Cheap state fingerprint for deadlock detection after halt."""
+        return (
+            self.tcdm.total_accesses,
+            sum(fp.sequencer.queue_len for fp in self.fps),
+            sum(len(fp.pipe) for fp in self.fps),
+            self.perf.value("fpu_compute_ops"),
+            self.perf.value("fp_lsu_ops"),
+            self.dma.bytes_moved,
+            sum(core.barrier_wait for core in self.cores),
+        )
+
+    # -- convenience metrics ---------------------------------------------------
+
+    def fpu_utilization(self, start_mark: int | None = None,
+                        end_mark: int | None = None) -> float:
+        return self.perf.fpu_utilization(start_mark, end_mark)
+
+    def runtime_seconds(self) -> float:
+        return self.cycle / self.cfg.clock_hz

@@ -1,0 +1,104 @@
+"""Core and cluster configuration.
+
+The defaults model the Snitch compute core used in the paper: a three-stage
+FMA pipeline at 1 GHz, three SSR lanes with four-deep FIFOs, a 16-entry FP
+instruction queue and a 32-bank TCDM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import InstrClass
+
+
+def _default_fpu_latency() -> dict[InstrClass, int]:
+    return {
+        InstrClass.FP_ADD: 3,
+        InstrClass.FP_MUL: 3,
+        InstrClass.FP_FMA: 3,
+        InstrClass.FP_DIV: 11,
+        InstrClass.FP_SQRT: 17,
+        InstrClass.FP_CMP: 1,
+        InstrClass.FP_MINMAX: 1,
+        InstrClass.FP_SGNJ: 1,
+        InstrClass.FP_CVT: 2,
+    }
+
+
+@dataclass
+class CoreConfig:
+    """Tunable parameters of the simulated cluster."""
+
+    #: Pipeline latency per FP op class, in cycles.  The paper's analysis
+    #: hinges on the FMA-class latency being 3 (Snitch's FPU depth).
+    fpu_latency: dict[InstrClass, int] = field(
+        default_factory=_default_fpu_latency)
+
+    #: In-flight capacity of the FPU pipeline.  Together with the
+    #: architectural register this bounds the logical chaining FIFO:
+    #: capacity = ``fpu_pipe_depth + 1``.
+    fpu_pipe_depth: int = 3
+
+    #: Depth of the FP instruction queue between the integer core and the
+    #: FP subsystem (the "pseudo dual-issue" decoupling buffer).
+    fp_queue_depth: int = 16
+
+    #: Instruction capacity of the FREP sequencer's ring buffer.
+    frep_buffer_depth: int = 16
+
+    #: Number of SSR lanes (stream registers ``ft0``..).
+    num_ssrs: int = 3
+
+    #: Per-lane stream FIFO depth.
+    ssr_fifo_depth: int = 4
+
+    #: TCDM banking.
+    tcdm_banks: int = 32
+    tcdm_bank_width: int = 8
+    mem_size: int = 1 << 21
+
+    #: DMA engine bandwidth (bytes per cycle; Snitch's is 512-bit wide).
+    dma_bytes_per_cycle: int = 64
+
+    #: When True, the cluster places the *encoded* program into memory at
+    #: ``Program.base`` and the integer core fetches and decodes 32-bit
+    #: machine words (with a decoded-instruction cache, so timing is
+    #: unchanged -- Snitch's L0 buffer assumption).  Exercises the binary
+    #: encoder/decoder on every executed instruction.  Self-modifying
+    #: code is not supported.
+    fetch_from_memory: bool = False
+
+    #: Integer-side timing.
+    branch_penalty: int = 2
+    jump_penalty: int = 1
+    load_use_latency: int = 2
+    int_mul_latency: int = 2
+    int_div_latency: int = 8
+
+    #: When True (default, matching our reading of the paper's Fig. 1c
+    #: steady state), the chaining FIFO supports a pop and a push to the
+    #: same register in the same cycle.  When False the writeback is
+    #: conservatively delayed, costing a bubble per wrap-around.
+    chain_concurrent_push_pop: bool = True
+
+    #: Clock frequency used to convert cycles to time and energy to power.
+    clock_hz: float = 1.0e9
+
+    def fpu_latency_of(self, iclass: InstrClass) -> int:
+        """Latency of ``iclass``; raises for non-FPU classes."""
+        return self.fpu_latency[iclass]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent configurations."""
+        if self.fpu_pipe_depth < 1:
+            raise ValueError("fpu_pipe_depth must be >= 1")
+        if self.fp_queue_depth < 1:
+            raise ValueError("fp_queue_depth must be >= 1")
+        if not 0 <= self.num_ssrs <= 3:
+            raise ValueError("num_ssrs must be in 0..3")
+        if self.ssr_fifo_depth < 1:
+            raise ValueError("ssr_fifo_depth must be >= 1")
+        for iclass, lat in self.fpu_latency.items():
+            if lat < 1:
+                raise ValueError(f"latency of {iclass} must be >= 1")

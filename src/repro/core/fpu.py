@@ -1,0 +1,149 @@
+"""FPU execution: functional operator semantics and the pipeline model.
+
+The pipeline is rigid and in-order with a single writeback port: an
+instruction issued at cycle *t* with latency *L* completes no earlier than
+``t + L`` and no earlier than one cycle after its predecessor.  In-flight
+capacity is ``fpu_pipe_depth`` operations; a writeback refused by a
+chaining register (backpressure) freezes the head and therefore, once the
+pipe is full, stalls issue -- exactly the paper's mechanism where pipeline
+registers double as FIFO storage.
+
+Results become architecturally visible at the *end* of the writeback
+cycle, so a dependent instruction can issue ``L + 1`` cycles after its
+producer; for the 3-stage FMA pipe this is the "three wasted cycles" of
+the paper's Fig. 1a.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.config import CoreConfig
+from repro.isa.instructions import Instr, InstrClass
+
+#: Classes that are not pipelined: while one is in flight the FPU accepts
+#: nothing else (iterative divide/sqrt unit).
+UNPIPELINED_CLASSES = frozenset({InstrClass.FP_DIV, InstrClass.FP_SQRT})
+
+
+def _fsgnj(a: float, b: float) -> float:
+    return math.copysign(abs(a), b)
+
+
+def _fsgnjn(a: float, b: float) -> float:
+    return math.copysign(abs(a), -b)
+
+
+def _fsgnjx(a: float, b: float) -> float:
+    sign = -1.0 if (math.copysign(1.0, a) * math.copysign(1.0, b)) < 0 else 1.0
+    return math.copysign(abs(a), sign)
+
+
+def _to_i32(value: float) -> int:
+    """fcvt.w.d semantics (round toward zero, saturating)."""
+    if math.isnan(value):
+        return (1 << 31) - 1
+    value = math.trunc(value)
+    return max(-(1 << 31), min((1 << 31) - 1, int(value)))
+
+
+#: mnemonic -> (arity, function).  Operands arrive as Python floats
+#: (IEEE-754 binary64, the FPU's native width).  The FMA group is modelled
+#: as multiply-then-add in double precision; the numpy golden models use
+#: the same ordering so end-to-end comparisons are exact.
+EXECUTORS: dict[str, tuple[int, callable]] = {
+    "fadd.d": (2, lambda a, b: a + b),
+    "fsub.d": (2, lambda a, b: a - b),
+    "fmul.d": (2, lambda a, b: a * b),
+    "fdiv.d": (2, lambda a, b: a / b),
+    "fsqrt.d": (1, math.sqrt),
+    "fmadd.d": (3, lambda a, b, c: a * b + c),
+    "fmsub.d": (3, lambda a, b, c: a * b - c),
+    "fnmsub.d": (3, lambda a, b, c: -(a * b) + c),
+    "fnmadd.d": (3, lambda a, b, c: -(a * b) - c),
+    "fsgnj.d": (2, _fsgnj),
+    "fsgnjn.d": (2, _fsgnjn),
+    "fsgnjx.d": (2, _fsgnjx),
+    "fmin.d": (2, min),
+    "fmax.d": (2, max),
+    "feq.d": (2, lambda a, b: int(a == b)),
+    "flt.d": (2, lambda a, b: int(a < b)),
+    "fle.d": (2, lambda a, b: int(a <= b)),
+    "fcvt.w.d": (1, _to_i32),
+    "fcvt.d.w": (1, float),
+}
+
+
+def execute_fp(mnemonic: str, operands: list[float]) -> float | int:
+    """Functionally execute an FP operation."""
+    arity, fn = EXECUTORS[mnemonic]
+    if len(operands) != arity:
+        raise ValueError(f"{mnemonic} expects {arity} operands, got "
+                         f"{len(operands)}")
+    return fn(*operands)
+
+
+@dataclass
+class InFlightOp:
+    """One operation travelling through the FPU pipe."""
+
+    instr: Instr
+    dest: int | None          # FP destination register, None for sync ops
+    dest_is_ssr: bool         # destination is a stream register
+    value: float | int
+    completes_at: int
+    sync: bool = False        # result goes back to the integer core
+
+
+class FpuPipe:
+    """The in-order FPU pipeline."""
+
+    def __init__(self, cfg: CoreConfig):
+        self.cfg = cfg
+        self.in_flight: deque[InFlightOp] = deque()
+        self._last_completion = -1
+
+    def __len__(self) -> int:
+        return len(self.in_flight)
+
+    @property
+    def empty(self) -> bool:
+        return not self.in_flight
+
+    def head(self) -> InFlightOp | None:
+        return self.in_flight[0] if self.in_flight else None
+
+    def head_complete(self, cycle: int) -> bool:
+        """True when the head op has traversed all stages by ``cycle``."""
+        return bool(self.in_flight) and self.in_flight[0].completes_at <= cycle
+
+    def has_unpipelined_in_flight(self) -> bool:
+        return any(op.instr.iclass in UNPIPELINED_CLASSES
+                   for op in self.in_flight)
+
+    def can_accept(self, cycle: int, iclass: InstrClass,
+                   head_will_retire: bool) -> bool:
+        """Room for a new op this cycle?
+
+        ``head_will_retire`` is the caller's prediction of whether the head
+        writeback will be accepted this same cycle (it frees one slot).
+        """
+        if self.has_unpipelined_in_flight():
+            return False
+        occupancy = len(self.in_flight) - (1 if head_will_retire else 0)
+        return occupancy < self.cfg.fpu_pipe_depth
+
+    def issue(self, op_instr: Instr, dest: int | None, dest_is_ssr: bool,
+              value: float | int, cycle: int, sync: bool = False) -> None:
+        """Insert an executed op; it will complete after its latency."""
+        latency = self.cfg.fpu_latency_of(op_instr.iclass)
+        completes = max(cycle + latency, self._last_completion + 1)
+        self._last_completion = completes
+        self.in_flight.append(
+            InFlightOp(op_instr, dest, dest_is_ssr, value, completes, sync))
+
+    def retire_head(self) -> InFlightOp:
+        """Remove and return the head op (after an accepted writeback)."""
+        return self.in_flight.popleft()

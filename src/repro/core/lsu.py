@@ -1,0 +1,94 @@
+"""Floating-point load/store unit.
+
+Snitch's FP subsystem has its own path to the TCDM for ``fld``/``fsd``.
+The unit handles one access at a time; an occupied unit stalls issue of
+the next FP memory instruction (in-order).  Loads write their destination
+register when the TCDM response arrives; the register stays scoreboarded
+until then.  A load destined for a *chaining* register performs a FIFO
+push on arrival and honors backpressure (it retries while the valid bit
+is set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.regfile import FpRegFile
+from repro.mem.tcdm import TcdmPort
+
+
+@dataclass
+class _PendingLoad:
+    dest: int
+
+
+class FpLsu:
+    """One-outstanding-access FP load/store unit."""
+
+    def __init__(self, port: TcdmPort, fpregs: FpRegFile):
+        self.port = port
+        self.fpregs = fpregs
+        self._pending_load: _PendingLoad | None = None
+        self._pending_store = False
+        #: A load value that arrived but was refused by a chaining
+        #: destination (backpressure); retried every cycle.
+        self._blocked_value: float | None = None
+        # Statistics.
+        self.loads = 0
+        self.stores = 0
+
+    @property
+    def busy(self) -> bool:
+        return (self._pending_load is not None or self._pending_store
+                or self._blocked_value is not None or self.port.busy)
+
+    def issue_load(self, addr: int, dest: int) -> None:
+        """Start an ``fld``; the caller has already scoreboarded ``dest``."""
+        if self.busy:
+            raise RuntimeError("FP LSU busy")
+        self.port.request(addr)
+        self._pending_load = _PendingLoad(dest)
+        self.loads += 1
+
+    def issue_store(self, addr: int, value: float) -> None:
+        """Start an ``fsd``; the caller has already read/popped the value."""
+        if self.busy:
+            raise RuntimeError("FP LSU busy")
+        self.port.request(addr, is_write=True, data=value)
+        self._pending_store = True
+        self.stores += 1
+
+    def block(self, dest: int, value: float) -> None:
+        """Re-block a load commit that was refused by a chaining push."""
+        self._pending_load = _PendingLoad(dest)
+        self._blocked_value = value
+
+    def step(self) -> list[tuple[int, float]]:
+        """Process responses; returns load writebacks to commit this cycle.
+
+        The returned ``(dest, value)`` pairs must be applied through the
+        regfile's writeback path *after* the issue phase, so loaded values
+        become readable in the next cycle.
+        """
+        commits: list[tuple[int, float]] = []
+        if self._blocked_value is not None:
+            # Retry a chaining push refused earlier.
+            dest = self._pending_load.dest
+            if self.fpregs.chain.can_push(dest):
+                commits.append((dest, self._blocked_value))
+                self._blocked_value = None
+                self._pending_load = None
+            return commits
+        if self.port.response_ready():
+            data = self.port.take_response()
+            if self._pending_store:
+                self._pending_store = False
+            elif self._pending_load is not None:
+                dest = self._pending_load.dest
+                if self.fpregs.chain.enabled(dest) and \
+                        not self.fpregs.chain.can_push(dest):
+                    self._blocked_value = float(data)
+                else:
+                    commits.append((dest, float(data)))
+                    self._pending_load = None
+        return commits

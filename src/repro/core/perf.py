@@ -1,0 +1,113 @@
+"""Performance counters and stall attribution.
+
+The FP subsystem classifies every cycle it fails to issue into a
+:class:`StallReason`; together with the per-class op counts this yields the
+FPU-utilization figures of the paper and a stall breakdown that the report
+harness prints alongside.
+
+Region markers (written through the ``sim_mark`` mechanism or directly by
+the harness) snapshot all counters, so metrics can be computed over a
+kernel's steady-state region excluding setup code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class StallReason(Enum):
+    """Why the FP subsystem could not issue in a given cycle."""
+
+    NONE = auto()              # issued
+    QUEUE_EMPTY = auto()       # nothing dispatched by the integer core
+    RAW = auto()               # scoreboard operand not ready
+    WAW = auto()               # scoreboard destination busy
+    CHAIN_EMPTY = auto()       # chaining FIFO pop with valid bit clear
+    CHAIN_BACKPRESSURE = auto()  # FPU pipe frozen by a blocked writeback
+    SSR_EMPTY = auto()         # read stream FIFO empty
+    SSR_FULL = auto()          # write stream FIFO full
+    FPU_BUSY = auto()          # pipe at capacity (or unpipelined op)
+    LSU_BUSY = auto()          # FP load/store unit occupied
+
+
+@dataclass
+class Snapshot:
+    """Counter values at a region marker."""
+
+    cycle: int
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+class PerfCounters:
+    """Cycle, instruction and stall accounting for one cluster."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.counters: Counter[str] = Counter()
+        self.stalls: Counter[StallReason] = Counter()
+        self.marks: dict[int, Snapshot] = {}
+
+    # -- accumulation ------------------------------------------------------
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def stall(self, reason: StallReason) -> None:
+        self.stalls[reason] += 1
+
+    def mark(self, mark_id: int) -> None:
+        """Snapshot all counters under ``mark_id``."""
+        snap = Snapshot(self.cycles, dict(self.counters))
+        for reason, count in self.stalls.items():
+            snap.counters[f"stall_{reason.name.lower()}"] = count
+        self.marks[mark_id] = snap
+
+    # -- queries -----------------------------------------------------------
+
+    def value(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def delta(self, name: str, start_mark: int, end_mark: int) -> int:
+        """Counter difference between two marks."""
+        a = self.marks[start_mark].counters.get(name, 0)
+        b = self.marks[end_mark].counters.get(name, 0)
+        return b - a
+
+    def region_cycles(self, start_mark: int, end_mark: int) -> int:
+        return self.marks[end_mark].cycle - self.marks[start_mark].cycle
+
+    def fpu_utilization(self, start_mark: int | None = None,
+                        end_mark: int | None = None) -> float:
+        """Fraction of cycles in which the FPU accepted a compute op.
+
+        Without marks, computed over the whole run.
+        """
+        if start_mark is None or end_mark is None:
+            cycles = self.cycles
+            ops = self.value("fpu_compute_ops")
+        else:
+            cycles = self.region_cycles(start_mark, end_mark)
+            ops = self.delta("fpu_compute_ops", start_mark, end_mark)
+        if cycles == 0:
+            return 0.0
+        return ops / cycles
+
+    def stall_breakdown(self) -> dict[str, int]:
+        """Stall cycles by reason, most frequent first."""
+        items = sorted(self.stalls.items(), key=lambda kv: -kv[1])
+        return {reason.name.lower(): count for reason, count in items
+                if reason is not StallReason.NONE}
+
+    def summary(self) -> dict[str, float | int]:
+        """Flat summary used by the report harness."""
+        out: dict[str, float | int] = {
+            "cycles": self.cycles,
+            "fpu_utilization": round(self.fpu_utilization(), 4),
+        }
+        out.update(sorted(self.counters.items()))
+        for reason, count in self.stalls.items():
+            if reason is not StallReason.NONE:
+                out[f"stall_{reason.name.lower()}"] = count
+        return out

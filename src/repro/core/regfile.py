@@ -1,0 +1,114 @@
+"""Integer and floating-point register files.
+
+The FP register file integrates the three register personalities that an
+architectural register number can take on this core:
+
+* **plain** register with a scoreboard busy bit (in-order hazard checks),
+* **stream** register (``ft0``-``ft2`` while SSRs are enabled) -- reads
+  and writes are redirected to the SSR streamers by the FP subsystem,
+* **chaining** register (bit set in the ``0x7C3`` mask) -- FIFO semantics
+  implemented by :class:`repro.core.chaining.ChainController`.
+
+The regfile itself only handles plain and chaining personalities; the FP
+subsystem intercepts stream registers before they reach here.
+"""
+
+from __future__ import annotations
+
+from repro.core.chaining import ChainController
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS
+
+
+class IntRegFile:
+    """32 integer registers with per-register ready cycles (load delays)."""
+
+    def __init__(self):
+        self.values = [0] * NUM_INT_REGS
+        self.ready_cycle = [0] * NUM_INT_REGS
+
+    def read(self, reg: int) -> int:
+        return 0 if reg == 0 else self.values[reg]
+
+    def write(self, reg: int, value: int, ready_cycle: int = 0) -> None:
+        if reg == 0:
+            return
+        self.values[reg] = value & 0xFFFFFFFF
+        self.ready_cycle[reg] = ready_cycle
+
+    def read_signed(self, reg: int) -> int:
+        value = self.read(reg)
+        return value - (1 << 32) if value & (1 << 31) else value
+
+    def ready(self, reg: int, cycle: int) -> bool:
+        """True when ``reg`` can be read at ``cycle`` (no load-use stall)."""
+        return reg == 0 or self.ready_cycle[reg] <= cycle
+
+    def set_ready(self, reg: int, cycle: int) -> None:
+        """Adjust only the ready cycle (e.g. scoreboarding a load dest)."""
+        if reg != 0:
+            self.ready_cycle[reg] = cycle
+
+
+class FpRegFile:
+    """32 FP registers with scoreboard bits and chaining integration."""
+
+    def __init__(self, chain: ChainController):
+        self.values = [0.0] * NUM_FP_REGS
+        self.busy = [False] * NUM_FP_REGS
+        self.chain = chain
+
+    # -- issue-side checks ---------------------------------------------------
+
+    def can_read(self, reg: int) -> bool:
+        """Would reading ``reg`` at issue stall?"""
+        if self.chain.enabled(reg):
+            return self.chain.can_pop(reg)
+        return not self.busy[reg]
+
+    def can_write(self, reg: int) -> bool:
+        """Would allocating ``reg`` as a destination at issue stall (WAW)?
+
+        Chaining destinations never stall at issue: the WAW check is
+        elided by design (ordering is preserved by the in-order pipe and
+        backpressure happens at writeback).
+        """
+        if self.chain.enabled(reg):
+            return True
+        return not self.busy[reg]
+
+    # -- datapath -------------------------------------------------------------
+
+    def read(self, reg: int) -> float:
+        """Read ``reg`` at issue; pops if it is a chaining register."""
+        value = self.values[reg]
+        if self.chain.enabled(reg):
+            if not self.chain.can_pop(reg):
+                raise RuntimeError(f"pop from empty chaining register f{reg}")
+            self.chain.note_pop(reg)
+        return value
+
+    def allocate(self, reg: int) -> None:
+        """Mark ``reg`` busy at issue (plain registers only)."""
+        if not self.chain.enabled(reg):
+            self.busy[reg] = True
+
+    def try_writeback(self, reg: int, value: float) -> bool:
+        """Attempt the writeback of ``value`` into ``reg``.
+
+        Returns False when a chaining register refuses the push
+        (backpressure); the caller must stall the FPU pipe and retry.
+        """
+        if self.chain.enabled(reg):
+            if not self.chain.can_push(reg):
+                self.chain.note_backpressure()
+                return False
+            self.values[reg] = value
+            self.chain.note_push(reg)
+            return True
+        self.values[reg] = value
+        self.busy[reg] = False
+        return True
+
+    def poke(self, reg: int, value: float) -> None:
+        """Debug/testing write bypassing all semantics."""
+        self.values[reg] = value

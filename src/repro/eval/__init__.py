@@ -1,0 +1,12 @@
+"""Evaluation harness: run kernels, collect metrics, regenerate figures."""
+
+from repro.eval.runner import RunResult, run_build, run_stencil_variant
+from repro.eval.report import format_table, geomean
+
+__all__ = [
+    "RunResult",
+    "format_table",
+    "geomean",
+    "run_build",
+    "run_stencil_variant",
+]

@@ -1,0 +1,52 @@
+"""Reporting helpers: geometric means and plain-text tables.
+
+The benchmark harness prints paper-vs-measured tables with these; keeping
+the formatting in one place makes `pytest benchmarks/ --benchmark-only`
+output directly comparable to the paper's Fig. 3 and section III claims.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def percent_delta(new: float, old: float) -> float:
+    """Relative improvement of ``new`` over ``old`` in percent."""
+    if old == 0:
+        raise ValueError("old value is zero")
+    return 100.0 * (new - old) / old

@@ -1,0 +1,109 @@
+"""Run generated kernels on the cluster and collect the paper's metrics.
+
+:func:`run_build` executes one :class:`~repro.kernels.build.KernelBuild`,
+verifies the output bit-exactly against the golden model, and returns a
+:class:`RunResult` with cycle counts, FPU utilization over the measured
+region, the energy/power estimates and throughput-derived metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import Cluster
+from repro.core.config import CoreConfig
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.kernels.build import MARK_END, MARK_START, KernelBuild
+from repro.kernels.layout import Grid3d
+from repro.kernels.registry import get_stencil
+from repro.kernels.stencil_codegen import build_stencil
+from repro.kernels.variants import Variant
+
+
+@dataclass
+class RunResult:
+    """Metrics from one kernel execution."""
+
+    name: str
+    correct: bool
+    cycles: int                 # whole run
+    region_cycles: int          # between the sim_mark region markers
+    fpu_utilization: float      # over the measured region
+    energy: EnergyReport
+    meta: dict = field(default_factory=dict)
+    stalls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def power_mw(self) -> float:
+        return self.energy.power_mw
+
+    @property
+    def gflops(self) -> float:
+        """Achieved throughput over the measured region, in Gflop/s."""
+        if self.region_cycles == 0:
+            return 0.0
+        seconds = self.region_cycles / self.meta.get("clock_hz", 1.0e9)
+        return self.meta.get("flops", 0) / seconds / 1e9
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Energy efficiency: achieved Gflop/s per Watt."""
+        if self.energy.power_mw == 0:
+            return 0.0
+        return self.gflops / (self.energy.power_mw / 1e3)
+
+    @property
+    def cycles_per_point(self) -> float:
+        points = self.meta.get("points", 0)
+        return self.region_cycles / points if points else 0.0
+
+
+def run_build(build: KernelBuild, cfg: CoreConfig | None = None,
+              max_cycles: int = 5_000_000,
+              require_correct: bool = True) -> RunResult:
+    """Execute ``build`` and return its metrics."""
+    cfg = cfg or CoreConfig()
+    cluster = Cluster(build.asm, cfg=cfg, symbols=build.symbols)
+    build.load_into(cluster)
+    cluster.run(max_cycles=max_cycles)
+
+    correct = build.check(cluster)
+    if require_correct and not correct:
+        raise AssertionError(
+            f"{build.name}: simulated output does not match the golden "
+            f"model"
+        )
+
+    perf = cluster.perf
+    have_marks = MARK_START in perf.marks and MARK_END in perf.marks
+    region = perf.region_cycles(MARK_START, MARK_END) if have_marks \
+        else perf.cycles
+    util = perf.fpu_utilization(MARK_START, MARK_END) if have_marks \
+        else perf.fpu_utilization()
+
+    model = EnergyModel(cfg)
+    energy = model.report(cluster)
+
+    meta = dict(build.meta)
+    meta["clock_hz"] = cfg.clock_hz
+    return RunResult(
+        name=build.name,
+        correct=correct,
+        cycles=perf.cycles,
+        region_cycles=region,
+        fpu_utilization=util,
+        energy=energy,
+        meta=meta,
+        stalls=perf.stall_breakdown(),
+    )
+
+
+def run_stencil_variant(kernel: str, variant: Variant,
+                        grid: Grid3d | None = None,
+                        cfg: CoreConfig | None = None,
+                        unroll: int = 4) -> RunResult:
+    """Convenience wrapper: build and run one paper data point."""
+    spec, default_grid = get_stencil(kernel)
+    build = build_stencil(spec, grid or default_grid, variant,
+                          unroll=unroll, cfg=cfg)
+    return run_build(build, cfg=cfg)

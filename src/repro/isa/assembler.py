@@ -1,0 +1,387 @@
+"""A small two-pass assembler for the simulated ISA.
+
+Supports the subset needed by the kernel generators and tests:
+
+* one instruction per line, ``#`` / ``//`` comments, ``label:`` definitions;
+* all mnemonics from :mod:`repro.isa.instructions` plus the common pseudo
+  instructions (``nop``, ``li``, ``mv``, ``j``, ``ret``, ``beqz``, ``bnez``,
+  ``fmv.d``);
+* symbolic CSR names (``chain_mask``, ``ssr_enable``, ...);
+* ``%name`` placeholders, substituted from the ``symbols`` mapping -- the
+  kernel generators use these for array base addresses and loop bounds;
+* branch/jump targets given as labels or as numeric byte offsets (the
+  paper's listings use ``-12``-style offsets).
+
+The output is a :class:`Program`: a list of :class:`~repro.isa.instructions.Instr`
+records with resolved addresses, plus the label map.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.csr import CSR
+from repro.isa.encoding import encode
+from repro.isa.instructions import Format, Instr, spec_for
+from repro.isa.registers import fp_reg, int_reg
+
+
+class AssemblerError(ValueError):
+    """Raised on any malformed assembly input."""
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None):
+        detail = message
+        if line_no is not None:
+            detail = f"line {line_no}: {message}"
+            if line is not None:
+                detail += f"  [{line.strip()}]"
+        super().__init__(detail)
+        self.line_no = line_no
+
+
+@dataclass
+class Program:
+    """An assembled program."""
+
+    instrs: list[Instr]
+    labels: dict[str, int] = field(default_factory=dict)
+    base: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def encode_words(self) -> list[int]:
+        """Encode every instruction into its 32-bit machine word."""
+        return [encode(i) for i in self.instrs]
+
+    def at(self, addr: int) -> Instr:
+        """Return the instruction at byte address ``addr``."""
+        index = (addr - self.base) // 4
+        return self.instrs[index]
+
+
+_CSR_NAMES = {c.name.lower(): int(c) for c in CSR}
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _tokenize_operands(text: str) -> list[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [t.strip() for t in text.split(",")]
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    neg = token.startswith("-")
+    if neg:
+        token = token[1:]
+    if token.lower().startswith("0x"):
+        value = int(token, 16)
+    elif token.lower().startswith("0b"):
+        value = int(token, 2)
+    else:
+        value = int(token, 10)
+    return -value if neg else value
+
+
+class _Line:
+    def __init__(self, mnemonic: str, operands: list[str], line_no: int,
+                 source: str):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_no = line_no
+        self.source = source
+
+
+def assemble(text: str, symbols: dict[str, int] | None = None,
+             base: int = 0) -> Program:
+    """Assemble ``text`` into a :class:`Program`.
+
+    ``symbols`` provides values for ``%name`` placeholders.  ``base`` is the
+    byte address of the first instruction.
+    """
+    symbols = symbols or {}
+    lines = _first_pass(text, symbols)
+    labels: dict[str, int] = {}
+    expanded: list[_Line] = []
+    addr = base
+    for line in lines:
+        if line.mnemonic.endswith(":") and not line.operands:
+            label = line.mnemonic[:-1]
+            if not label.isidentifier():
+                raise AssemblerError(f"bad label {label!r}", line.line_no)
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}", line.line_no)
+            labels[label] = addr
+            continue
+        for piece in _expand_pseudo(line):
+            expanded.append(piece)
+            addr += 4
+
+    instrs: list[Instr] = []
+    addr = base
+    for line in expanded:
+        instr = _parse_instr(line, labels, addr)
+        instr.addr = addr
+        instr.source = line.source
+        instrs.append(instr)
+        addr += 4
+    return Program(instrs, labels, base)
+
+
+def _first_pass(text: str, symbols: dict[str, int]) -> list[_Line]:
+    out: list[_Line] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        if not line:
+            continue
+        line = _substitute_symbols(line, symbols, line_no, raw)
+        # A label may share a line with an instruction: "loop: fadd.d ..."
+        while ":" in line:
+            label, rest = line.split(":", 1)
+            label = label.strip()
+            out.append(_Line(f"{label}:", [], line_no, raw))
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _tokenize_operands(parts[1]) if len(parts) > 1 else []
+        out.append(_Line(mnemonic, operands, line_no, raw))
+    return out
+
+
+def _substitute_symbols(line: str, symbols: dict[str, int], line_no: int,
+                        raw: str) -> str:
+    def repl(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in symbols:
+            raise AssemblerError(f"undefined symbol %{name}", line_no, raw)
+        return str(symbols[name])
+
+    # Accept both %name and %[name] (the paper's listing style).
+    line = re.sub(r"%\[(\w+)\]", repl, line)
+    return re.sub(r"%(\w+)", repl, line)
+
+
+def _expand_pseudo(line: _Line) -> list[_Line]:
+    mn, ops, no, src = line.mnemonic, line.operands, line.line_no, line.source
+    if mn == "nop":
+        return [_Line("addi", ["x0", "x0", "0"], no, src)]
+    if mn == "mv":
+        _expect(ops, 2, line)
+        return [_Line("addi", [ops[0], ops[1], "0"], no, src)]
+    if mn == "li":
+        _expect(ops, 2, line)
+        return _expand_li(ops[0], ops[1], no, src)
+    if mn == "j":
+        _expect(ops, 1, line)
+        return [_Line("jal", ["x0", ops[0]], no, src)]
+    if mn == "ret":
+        return [_Line("jalr", ["x0", "ra", "0"], no, src)]
+    if mn == "beqz":
+        _expect(ops, 2, line)
+        return [_Line("beq", [ops[0], "x0", ops[1]], no, src)]
+    if mn == "bnez":
+        _expect(ops, 2, line)
+        return [_Line("bne", [ops[0], "x0", ops[1]], no, src)]
+    if mn == "bgt":
+        _expect(ops, 3, line)
+        return [_Line("blt", [ops[1], ops[0], ops[2]], no, src)]
+    if mn == "ble":
+        _expect(ops, 3, line)
+        return [_Line("bge", [ops[1], ops[0], ops[2]], no, src)]
+    if mn == "fmv.d":
+        _expect(ops, 2, line)
+        return [_Line("fsgnj.d", [ops[0], ops[1], ops[1]], no, src)]
+    if mn == "fneg.d":
+        _expect(ops, 2, line)
+        return [_Line("fsgnjn.d", [ops[0], ops[1], ops[1]], no, src)]
+    if mn == "fabs.d":
+        _expect(ops, 2, line)
+        return [_Line("fsgnjx.d", [ops[0], ops[1], ops[1]], no, src)]
+    if mn == "csrr":
+        _expect(ops, 2, line)
+        return [_Line("csrrs", [ops[0], ops[1], "x0"], no, src)]
+    if mn == "csrw":
+        _expect(ops, 2, line)
+        return [_Line("csrrw", ["x0", ops[0], ops[1]], no, src)]
+    if mn == "csrs":
+        _expect(ops, 2, line)
+        return [_Line("csrrs", ["x0", ops[0], ops[1]], no, src)]
+    if mn == "csrc":
+        _expect(ops, 2, line)
+        return [_Line("csrrc", ["x0", ops[0], ops[1]], no, src)]
+    return [line]
+
+
+def _expect(ops: list[str], n: int, line: _Line) -> None:
+    if len(ops) != n:
+        raise AssemblerError(
+            f"{line.mnemonic} expects {n} operands, got {len(ops)}",
+            line.line_no, line.source,
+        )
+
+
+def _expand_li(rd: str, imm_token: str, no: int, src: str) -> list[_Line]:
+    try:
+        value = _parse_int(imm_token)
+    except ValueError:
+        raise AssemblerError(f"li needs a constant, got {imm_token!r}", no,
+                             src) from None
+    if not -(1 << 31) <= value < 1 << 32:
+        raise AssemblerError(f"li constant {value} does not fit 32 bits", no,
+                             src)
+    if value >= 1 << 31:
+        value -= 1 << 32  # Accept unsigned 32-bit constants.
+    if -2048 <= value < 2048:
+        return [_Line("addi", [rd, "x0", str(value)], no, src)]
+    lo = ((value & 0xFFF) ^ 0x800) - 0x800  # sign-extended low 12 bits
+    hi = ((value - lo) >> 12) & 0xFFFFF
+    out = [_Line("lui", [rd, str(hi)], no, src)]
+    if lo:
+        out.append(_Line("addi", [rd, rd, str(lo)], no, src))
+    return out
+
+
+def _parse_instr(line: _Line, labels: dict[str, int], addr: int) -> Instr:
+    try:
+        spec = spec_for(line.mnemonic)
+    except KeyError as exc:
+        raise AssemblerError(str(exc), line.line_no, line.source) from None
+
+    ops = line.operands
+    instr = Instr(spec.mnemonic)
+    fmt = spec.fmt
+
+    def reg(token: str, domain: str) -> int:
+        try:
+            return int_reg(token) if domain == "x" else fp_reg(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line.line_no, line.source) from None
+
+    def imm(token: str) -> int:
+        try:
+            return _parse_int(token)
+        except ValueError:
+            raise AssemblerError(
+                f"bad immediate {token!r}", line.line_no, line.source
+            ) from None
+
+    def target(token: str) -> int:
+        if token in labels:
+            return labels[token] - addr
+        try:
+            return _parse_int(token)
+        except ValueError:
+            raise AssemblerError(
+                f"unknown label or offset {token!r}", line.line_no, line.source
+            ) from None
+
+    def csr_addr(token: str) -> int:
+        if token in _CSR_NAMES:
+            return _CSR_NAMES[token]
+        # The disassembler renders unnamed CSRs as ``csr_0x...``.
+        if token.startswith("csr_"):
+            return imm(token[4:])
+        return imm(token)
+
+    def mem_operand(token: str) -> tuple[int, str]:
+        match = _MEM_OPERAND.match(token.replace(" ", ""))
+        if not match:
+            raise AssemblerError(
+                f"expected imm(reg), got {token!r}", line.line_no, line.source
+            )
+        return imm(match.group(1)), match.group(2)
+
+    if fmt in (Format.R, Format.FR):
+        _expect(ops, 3, line)
+        instr.rd = reg(ops[0], spec.rd_domain)
+        instr.rs1 = reg(ops[1], spec.rs1_domain)
+        instr.rs2 = reg(ops[2], spec.rs2_domain)
+    elif fmt == Format.FR1:
+        _expect(ops, 2, line)
+        instr.rd = reg(ops[0], spec.rd_domain)
+        instr.rs1 = reg(ops[1], spec.rs1_domain)
+    elif fmt == Format.FR4:
+        _expect(ops, 4, line)
+        instr.rd = reg(ops[0], "f")
+        instr.rs1 = reg(ops[1], "f")
+        instr.rs2 = reg(ops[2], "f")
+        instr.rs3 = reg(ops[3], "f")
+    elif fmt in (Format.I, Format.SHIFT, Format.JR):
+        _expect(ops, 3, line)
+        instr.rd = reg(ops[0], "x")
+        instr.rs1 = reg(ops[1], "x")
+        instr.imm = imm(ops[2])
+    elif fmt in (Format.LOAD, Format.FLOAD):
+        _expect(ops, 2, line)
+        instr.rd = reg(ops[0], spec.rd_domain)
+        instr.imm, base_reg = mem_operand(ops[1])
+        instr.rs1 = reg(base_reg, "x")
+    elif fmt in (Format.S, Format.FSTORE):
+        _expect(ops, 2, line)
+        instr.rs2 = reg(ops[0], spec.rs2_domain)
+        instr.imm, base_reg = mem_operand(ops[1])
+        instr.rs1 = reg(base_reg, "x")
+    elif fmt == Format.B:
+        _expect(ops, 3, line)
+        instr.rs1 = reg(ops[0], "x")
+        instr.rs2 = reg(ops[1], "x")
+        instr.imm = target(ops[2])
+    elif fmt == Format.U:
+        _expect(ops, 2, line)
+        instr.rd = reg(ops[0], "x")
+        instr.imm = imm(ops[1])
+    elif fmt == Format.J:
+        _expect(ops, 2, line)
+        instr.rd = reg(ops[0], "x")
+        instr.imm = target(ops[1])
+    elif fmt == Format.CSR:
+        _expect(ops, 3, line)
+        instr.rd = reg(ops[0], "x")
+        instr.csr = csr_addr(ops[1])
+        instr.rs1 = reg(ops[2], "x")
+    elif fmt == Format.CSRI:
+        _expect(ops, 3, line)
+        instr.rd = reg(ops[0], "x")
+        instr.csr = csr_addr(ops[1])
+        instr.imm = imm(ops[2])
+    elif fmt == Format.FREP:
+        if len(ops) not in (2, 4):
+            raise AssemblerError(
+                "frep expects rs1, max_inst[, stagger_max, stagger_mask]",
+                line.line_no, line.source,
+            )
+        from repro.isa.encoding import pack_frep
+
+        instr.rs1 = reg(ops[0], "x")
+        max_inst = imm(ops[1])
+        stagger_max = imm(ops[2]) if len(ops) == 4 else 0
+        stagger_mask = imm(ops[3]) if len(ops) == 4 else 0
+        instr.imm = pack_frep(max_inst, stagger_max, stagger_mask)
+    elif fmt == Format.SCFGW:
+        _expect(ops, 2, line)
+        instr.rs1 = reg(ops[0], "x")
+        instr.rs2 = reg(ops[1], "x")
+    elif fmt == Format.SCFGR:
+        _expect(ops, 2, line)
+        instr.rd = reg(ops[0], "x")
+        instr.rs1 = reg(ops[1], "x")
+    elif fmt == Format.RS1:
+        _expect(ops, 1, line)
+        instr.rs1 = reg(ops[0], "x")
+    elif fmt == Format.RD:
+        _expect(ops, 1, line)
+        instr.rd = reg(ops[0], "x")
+    elif fmt == Format.NONE:
+        _expect(ops, 0, line)
+    else:  # pragma: no cover
+        raise AssemblerError(f"unhandled format {fmt}", line.line_no)
+    return instr

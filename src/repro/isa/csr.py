@@ -1,0 +1,72 @@
+"""Control and status register map.
+
+Besides a handful of standard machine-level CSRs, this defines the Snitch
+custom CSRs used by the experiments:
+
+* ``SSR_ENABLE`` (``0x7C0``) -- bit 0 turns the stream semantic registers
+  on; while set, reads/writes of ``ft0``-``ft2`` carry stream semantics.
+* ``FPMODE`` (``0x7C1``) -- reserved on Snitch; modelled for completeness.
+* ``CHAIN_MASK`` (``0x7C3``) -- the paper's contribution.  A 32-bit mask
+  with one bit per architectural FP register; setting bit *i* gives
+  register *i* FIFO semantics (writes push at FPU writeback, reads pop at
+  issue, a valid bit provides backpressure).
+* ``CHAIN_STATUS`` (``0x7C4``) -- read-only helper exposing the current
+  valid bits, useful for debugging and assertions (our addition; the paper
+  only requires the mask CSR).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class CSR(IntEnum):
+    """CSR addresses understood by the simulator."""
+
+    # Standard (subset).
+    FFLAGS = 0x001
+    FRM = 0x002
+    FCSR = 0x003
+    MCYCLE = 0xB00
+    MINSTRET = 0xB02
+    MHARTID = 0xF14
+
+    # Snitch custom CSRs.
+    SSR_ENABLE = 0x7C0
+    FPMODE = 0x7C1
+    # The paper places the chaining mask at 0x7C3.
+    CHAIN_MASK = 0x7C3
+    CHAIN_STATUS = 0x7C4
+    # Simulator-only: writes snapshot the performance counters under the
+    # written id, delimiting measurement regions (handled by the integer
+    # core, zero-latency; does not exist in the RTL).
+    SIM_MARK = 0x7C5
+    # Cluster hardware barrier: a write blocks the core until every
+    # non-halted core in the cluster has arrived (Snitch clusters provide
+    # an equivalent hardware synchronization primitive).
+    BARRIER = 0x7C6
+
+
+#: CSRs that configure the FP subsystem.  Writes to these must stay ordered
+#: with respect to in-flight FP instructions, so the core routes them
+#: through the FP instruction queue (as Snitch does for ssr enable).
+FP_SUBSYSTEM_CSRS = frozenset(
+    {CSR.SSR_ENABLE, CSR.FPMODE, CSR.CHAIN_MASK, CSR.CHAIN_STATUS,
+     CSR.FFLAGS, CSR.FRM, CSR.FCSR}
+)
+
+
+def csr_name(addr: int) -> str:
+    """Return a human-readable name for CSR ``addr``."""
+    try:
+        return CSR(addr).name.lower()
+    except ValueError:
+        return f"csr_{addr:#x}"
+
+
+def is_fp_csr(addr: int) -> bool:
+    """True when CSR ``addr`` belongs to the FP subsystem."""
+    try:
+        return CSR(addr) in FP_SUBSYSTEM_CSRS
+    except ValueError:
+        return False

@@ -1,0 +1,84 @@
+"""Disassembler: turn :class:`~repro.isa.instructions.Instr` records (or raw
+32-bit words) back into assembly text.
+
+``assemble(disassemble(program))`` reproduces the original instruction
+stream; this round-trip is part of the property-based test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.isa.csr import csr_name
+from repro.isa.encoding import decode, unpack_frep
+from repro.isa.instructions import Format, Instr
+from repro.isa.registers import fp_reg_name, int_reg_name
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction as assembly text."""
+    spec = instr.spec
+    fmt = spec.fmt
+    x = int_reg_name
+    f = fp_reg_name
+    mn = instr.mnemonic
+
+    if fmt == Format.R or fmt == Format.FR:
+        rn = x if spec.rd_domain == "x" else f
+        s1 = x if spec.rs1_domain == "x" else f
+        s2 = x if spec.rs2_domain == "x" else f
+        return f"{mn} {rn(instr.rd)}, {s1(instr.rs1)}, {s2(instr.rs2)}"
+    if fmt == Format.FR1:
+        rn = x if spec.rd_domain == "x" else f
+        s1 = x if spec.rs1_domain == "x" else f
+        return f"{mn} {rn(instr.rd)}, {s1(instr.rs1)}"
+    if fmt == Format.FR4:
+        return (f"{mn} {f(instr.rd)}, {f(instr.rs1)}, {f(instr.rs2)}, "
+                f"{f(instr.rs3)}")
+    if fmt in (Format.I, Format.SHIFT, Format.JR):
+        return f"{mn} {x(instr.rd)}, {x(instr.rs1)}, {instr.imm}"
+    if fmt == Format.LOAD:
+        return f"{mn} {x(instr.rd)}, {instr.imm}({x(instr.rs1)})"
+    if fmt == Format.FLOAD:
+        return f"{mn} {f(instr.rd)}, {instr.imm}({x(instr.rs1)})"
+    if fmt == Format.S:
+        return f"{mn} {x(instr.rs2)}, {instr.imm}({x(instr.rs1)})"
+    if fmt == Format.FSTORE:
+        return f"{mn} {f(instr.rs2)}, {instr.imm}({x(instr.rs1)})"
+    if fmt == Format.B:
+        return f"{mn} {x(instr.rs1)}, {x(instr.rs2)}, {instr.imm}"
+    if fmt == Format.U:
+        return f"{mn} {x(instr.rd)}, {instr.imm}"
+    if fmt == Format.J:
+        return f"{mn} {x(instr.rd)}, {instr.imm}"
+    if fmt == Format.CSR:
+        return f"{mn} {x(instr.rd)}, {csr_name(instr.csr)}, {x(instr.rs1)}"
+    if fmt == Format.CSRI:
+        return f"{mn} {x(instr.rd)}, {csr_name(instr.csr)}, {instr.imm}"
+    if fmt == Format.FREP:
+        max_inst, stagger_max, stagger_mask = unpack_frep(instr.imm)
+        if stagger_max or stagger_mask:
+            return (f"{mn} {x(instr.rs1)}, {max_inst}, {stagger_max}, "
+                    f"{stagger_mask}")
+        return f"{mn} {x(instr.rs1)}, {max_inst}"
+    if fmt == Format.SCFGW:
+        return f"{mn} {x(instr.rs1)}, {x(instr.rs2)}"
+    if fmt == Format.SCFGR:
+        return f"{mn} {x(instr.rd)}, {x(instr.rs1)}"
+    if fmt == Format.RS1:
+        return f"{mn} {x(instr.rs1)}"
+    if fmt == Format.RD:
+        return f"{mn} {x(instr.rd)}"
+    if fmt == Format.NONE:
+        return mn
+    raise ValueError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def disassemble(item: int | Instr) -> str:
+    """Disassemble a raw 32-bit word or a decoded instruction."""
+    if isinstance(item, int):
+        item = decode(item)
+    return format_instr(item)
+
+
+def disassemble_program(words: list[int]) -> str:
+    """Disassemble a list of machine words into newline-joined text."""
+    return "\n".join(disassemble(w) for w in words)

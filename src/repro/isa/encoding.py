@@ -1,0 +1,255 @@
+"""Binary encoding and decoding of instructions.
+
+Standard RV32IM/Zicsr/F/D instructions use their official encodings.  The
+Snitch extensions use the custom opcode spaces:
+
+* ``Xfrep`` (``frep.o``/``frep.i``) lives in *custom-0* (``0001011``).  The
+  12-bit immediate packs ``max_inst`` (bits 3:0), ``stagger_max`` (7:4) and
+  ``stagger_mask`` (11:8); the repetition count is read from ``rs1``.
+* ``Xssr`` (``scfgw``/``scfgr``) lives in *custom-1* (``0101011``).
+
+Encode/decode round-trips exactly for every instruction produced by the
+assembler; that property is exercised by the hypothesis test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Format, Instr, InstrSpec, SPEC_TABLE
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded (e.g. immediate range)."""
+
+
+def _check_range(value: int, lo: int, hi: int, what: str, instr: Instr) -> None:
+    if not lo <= value <= hi:
+        raise EncodingError(
+            f"{what} {value} out of range [{lo}, {hi}] in {instr.mnemonic}"
+        )
+
+
+def _check_reg(num: int, what: str, instr: Instr) -> None:
+    if not 0 <= num < 32:
+        raise EncodingError(f"{what} x/f{num} out of range in {instr.mnemonic}")
+
+
+def pack_frep(max_inst: int, stagger_max: int = 0, stagger_mask: int = 0) -> int:
+    """Pack the FREP immediate fields into the 12-bit immediate."""
+    if not 0 <= max_inst < 16:
+        raise EncodingError(f"frep max_inst {max_inst} out of range [0, 15]")
+    if not 0 <= stagger_max < 16:
+        raise EncodingError(f"frep stagger_max {stagger_max} out of range")
+    if not 0 <= stagger_mask < 16:
+        raise EncodingError(f"frep stagger_mask {stagger_mask} out of range")
+    return max_inst | (stagger_max << 4) | (stagger_mask << 8)
+
+
+def unpack_frep(imm: int) -> tuple[int, int, int]:
+    """Return ``(max_inst, stagger_max, stagger_mask)`` from a FREP imm."""
+    return imm & 0xF, (imm >> 4) & 0xF, (imm >> 8) & 0xF
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend ``bits``-wide ``value`` to a Python int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(instr: Instr) -> int:
+    """Encode ``instr`` into its 32-bit machine word."""
+    spec = instr.spec
+    op = spec.opcode
+    f3 = spec.funct3 or 0
+    rd, rs1, rs2, rs3 = instr.rd, instr.rs1, instr.rs2, instr.rs3
+    imm = instr.imm
+    for num, what in ((rd, "rd"), (rs1, "rs1"), (rs2, "rs2"), (rs3, "rs3")):
+        _check_reg(num, what, instr)
+
+    fmt = spec.fmt
+    if fmt in (Format.R, Format.FR, Format.SCFGW):
+        return (spec.funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | op
+    if fmt == Format.SCFGR:
+        return (spec.funct7 << 25) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if fmt == Format.RS1:
+        return (spec.funct7 << 25) | (rs1 << 15) | (f3 << 12) | op
+    if fmt == Format.RD:
+        return (spec.funct7 << 25) | (f3 << 12) | (rd << 7) | op
+    if fmt == Format.FR1:
+        return (spec.funct7 << 25) | (spec.rs2_field << 20) | (rs1 << 15) \
+            | (f3 << 12) | (rd << 7) | op
+    if fmt == Format.FR4:
+        return (rs3 << 27) | (spec.funct2 << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (f3 << 12) | (rd << 7) | op
+    if fmt in (Format.I, Format.LOAD, Format.FLOAD, Format.JR):
+        _check_range(imm, -2048, 2047, "immediate", instr)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if fmt == Format.SHIFT:
+        _check_range(imm, 0, 31, "shift amount", instr)
+        return (spec.funct7 << 25) | (imm << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | op
+    if fmt in (Format.S, Format.FSTORE):
+        _check_range(imm, -2048, 2047, "immediate", instr)
+        lo = imm & 0x1F
+        hi = (imm >> 5) & 0x7F
+        return (hi << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) \
+            | (lo << 7) | op
+    if fmt == Format.B:
+        _check_range(imm, -4096, 4094, "branch offset", instr)
+        if imm & 1:
+            raise EncodingError(f"odd branch offset {imm} in {instr.mnemonic}")
+        b = imm & 0x1FFF
+        word = ((b >> 12) & 1) << 31
+        word |= ((b >> 5) & 0x3F) << 25
+        word |= rs2 << 20
+        word |= rs1 << 15
+        word |= f3 << 12
+        word |= ((b >> 1) & 0xF) << 8
+        word |= ((b >> 11) & 1) << 7
+        return word | op
+    if fmt == Format.U:
+        _check_range(imm, 0, (1 << 20) - 1, "upper immediate", instr)
+        return (imm << 12) | (rd << 7) | op
+    if fmt == Format.J:
+        _check_range(imm, -(1 << 20), (1 << 20) - 2, "jump offset", instr)
+        if imm & 1:
+            raise EncodingError(f"odd jump offset {imm} in {instr.mnemonic}")
+        j = imm & 0x1FFFFF
+        word = ((j >> 20) & 1) << 31
+        word |= ((j >> 1) & 0x3FF) << 21
+        word |= ((j >> 11) & 1) << 20
+        word |= ((j >> 12) & 0xFF) << 12
+        return word | (rd << 7) | op
+    if fmt == Format.CSR:
+        _check_range(instr.csr, 0, 0xFFF, "csr address", instr)
+        return (instr.csr << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+    if fmt == Format.CSRI:
+        _check_range(instr.csr, 0, 0xFFF, "csr address", instr)
+        _check_range(imm, 0, 31, "csr immediate", instr)
+        return (instr.csr << 20) | (imm << 15) | (f3 << 12) | (rd << 7) | op
+    if fmt == Format.FREP:
+        _check_range(imm, 0, 0xFFF, "frep immediate", instr)
+        return (imm << 20) | (rs1 << 15) | (f3 << 12) | op
+    if fmt == Format.NONE:
+        # ecall (imm 0) / ebreak (imm 1).
+        system_imm = 1 if instr.mnemonic == "ebreak" else 0
+        return (system_imm << 20) | (f3 << 12) | op
+    raise EncodingError(f"cannot encode format {fmt} ({instr.mnemonic})")
+
+
+def _build_decode_index() -> dict[int, list[InstrSpec]]:
+    index: dict[int, list[InstrSpec]] = {}
+    for spec in SPEC_TABLE.values():
+        index.setdefault(spec.opcode, []).append(spec)
+    return index
+
+
+_DECODE_INDEX = _build_decode_index()
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word is not a recognized instruction."""
+
+
+def decode(word: int) -> Instr:
+    """Decode the 32-bit machine word ``word`` into an :class:`Instr`."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    f3 = (word >> 12) & 0x7
+    f7 = (word >> 25) & 0x7F
+    f2 = (word >> 25) & 0x3
+    rd = (word >> 7) & 0x1F
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    rs3 = (word >> 27) & 0x1F
+
+    candidates = _DECODE_INDEX.get(opcode)
+    if not candidates:
+        raise DecodeError(f"unknown opcode {opcode:#09b} in word {word:#010x}")
+
+    spec = _match_spec(candidates, word, f3, f7, f2, rs2)
+    fmt = spec.fmt
+    instr = Instr(spec.mnemonic)
+
+    if fmt in (Format.R, Format.FR, Format.SCFGW, Format.FR4):
+        instr.rd, instr.rs1, instr.rs2 = rd, rs1, rs2
+        if fmt == Format.FR4:
+            instr.rs3 = rs3
+    elif fmt == Format.SCFGR:
+        instr.rd, instr.rs1 = rd, rs1
+    elif fmt == Format.RS1:
+        instr.rs1 = rs1
+    elif fmt == Format.RD:
+        instr.rd = rd
+    elif fmt == Format.FR1:
+        instr.rd, instr.rs1 = rd, rs1
+    elif fmt in (Format.I, Format.LOAD, Format.FLOAD, Format.JR):
+        instr.rd, instr.rs1 = rd, rs1
+        instr.imm = _sext(word >> 20, 12)
+    elif fmt == Format.SHIFT:
+        instr.rd, instr.rs1 = rd, rs1
+        instr.imm = rs2
+    elif fmt in (Format.S, Format.FSTORE):
+        instr.rs1, instr.rs2 = rs1, rs2
+        instr.imm = _sext((f7 << 5) | rd, 12)
+    elif fmt == Format.B:
+        instr.rs1, instr.rs2 = rs1, rs2
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        instr.imm = _sext(imm, 13)
+    elif fmt == Format.U:
+        instr.rd = rd
+        instr.imm = (word >> 12) & 0xFFFFF
+    elif fmt == Format.J:
+        instr.rd = rd
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        instr.imm = _sext(imm, 21)
+    elif fmt == Format.CSR:
+        instr.rd, instr.rs1 = rd, rs1
+        instr.csr = (word >> 20) & 0xFFF
+    elif fmt == Format.CSRI:
+        instr.rd = rd
+        instr.imm = rs1
+        instr.csr = (word >> 20) & 0xFFF
+    elif fmt == Format.FREP:
+        instr.rs1 = rs1
+        instr.imm = (word >> 20) & 0xFFF
+    elif fmt == Format.NONE:
+        pass
+    else:  # pragma: no cover - all formats handled above
+        raise DecodeError(f"cannot decode format {fmt}")
+    return instr
+
+
+def _match_spec(candidates: list[InstrSpec], word: int, f3: int, f7: int,
+                f2: int, rs2: int) -> InstrSpec:
+    for spec in candidates:
+        if spec.fmt == Format.NONE:
+            system_imm = (word >> 20) & 0xFFF
+            want = 1 if spec.mnemonic == "ebreak" else 0
+            if f3 == spec.funct3 and system_imm == want and (word >> 7) & 0x1F == 0:
+                return spec
+            continue
+        if spec.funct3 is not None and spec.funct3 != f3:
+            continue
+        if spec.fmt == Format.FR4:
+            if spec.funct2 == f2:
+                return spec
+            continue
+        if spec.funct7 is not None and spec.fmt in (
+            Format.R, Format.FR, Format.FR1, Format.SHIFT, Format.SCFGW,
+            Format.SCFGR, Format.RS1, Format.RD,
+        ):
+            if spec.funct7 != f7:
+                continue
+        if spec.rs2_field is not None and spec.rs2_field != rs2:
+            continue
+        return spec
+    raise DecodeError(
+        f"no matching instruction for word {word:#010x} "
+        f"(opcode {word & 0x7F:#09b}, funct3 {f3:#05b}, funct7 {f7:#09b})"
+    )

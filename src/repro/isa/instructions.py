@@ -1,0 +1,379 @@
+"""Instruction definitions for the simulated ISA.
+
+Each mnemonic is described by an :class:`InstrSpec` carrying
+
+* the assembly *format* (operand syntax),
+* the operand *domains* (integer ``x`` vs floating-point ``f`` registers),
+* the timing *class* (:class:`InstrClass`) used by the core model, and
+* the binary encoding fields used by :mod:`repro.isa.encoding`.
+
+Decoded (or assembled) instructions are plain :class:`Instr` records; the
+simulator dispatches on ``mnemonic``/``iclass`` rather than on raw bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class InstrClass(Enum):
+    """Timing class of an instruction, as seen by the core model."""
+
+    INT_ALU = auto()
+    INT_MUL = auto()
+    INT_DIV = auto()
+    LOAD = auto()
+    STORE = auto()
+    BRANCH = auto()
+    JUMP = auto()
+    CSR = auto()
+    SYS = auto()
+
+    FP_ADD = auto()      # fadd/fsub
+    FP_MUL = auto()
+    FP_FMA = auto()
+    FP_DIV = auto()
+    FP_SQRT = auto()
+    FP_CMP = auto()      # feq/flt/fle (write integer rd)
+    FP_MINMAX = auto()
+    FP_SGNJ = auto()     # sign injection (incl. fmv.d pseudo)
+    FP_CVT = auto()
+    FP_LOAD = auto()
+    FP_STORE = auto()
+
+    FREP = auto()        # Xfrep hardware loop
+    SCFG = auto()        # Xssr config access
+    DMA = auto()         # Xdma engine control (integer-core side)
+
+
+#: FP classes that occupy the FPU datapath (count toward FPU utilization).
+FP_COMPUTE_CLASSES = frozenset(
+    {
+        InstrClass.FP_ADD,
+        InstrClass.FP_MUL,
+        InstrClass.FP_FMA,
+        InstrClass.FP_DIV,
+        InstrClass.FP_SQRT,
+        InstrClass.FP_CMP,
+        InstrClass.FP_MINMAX,
+        InstrClass.FP_SGNJ,
+        InstrClass.FP_CVT,
+    }
+)
+
+#: Classes dispatched to the FP subsystem (through the FP instruction queue).
+FP_QUEUE_CLASSES = FP_COMPUTE_CLASSES | frozenset(
+    {InstrClass.FP_LOAD, InstrClass.FP_STORE, InstrClass.FREP, InstrClass.SCFG}
+)
+
+
+class Format(Enum):
+    """Assembly syntax / encoding format."""
+
+    R = auto()        # op rd, rs1, rs2
+    I = auto()        # op rd, rs1, imm
+    SHIFT = auto()    # op rd, rs1, shamt
+    LOAD = auto()     # op rd, imm(rs1)
+    S = auto()        # op rs2, imm(rs1)
+    B = auto()        # op rs1, rs2, target
+    U = auto()        # op rd, imm
+    J = auto()        # op rd, target
+    JR = auto()       # jalr rd, rs1, imm
+    CSR = auto()      # op rd, csr, rs1
+    CSRI = auto()     # op rd, csr, uimm
+    FR = auto()       # op frd, frs1, frs2
+    FR1 = auto()      # op frd, frs1          (fsqrt, fcvt, fmv)
+    FR4 = auto()      # op frd, frs1, frs2, frs3
+    FLOAD = auto()    # op frd, imm(rs1)
+    FSTORE = auto()   # op frs2, imm(rs1)
+    FREP = auto()     # frep.o rs1, max_inst, stagger_max, stagger_mask
+    SCFGW = auto()    # scfgw rs1, rs2
+    SCFGR = auto()    # scfgr rd, rs1
+    RS1 = auto()      # op rs1            (dmsrc, dmdst, dmrep)
+    RD = auto()       # op rd             (dmstat)
+    NONE = auto()     # ebreak, ecall, nop-like
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: Format
+    iclass: InstrClass
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+    funct2: int | None = None      # R4 fmt field (bits 26:25)
+    rs2_field: int | None = None   # fixed rs2 for unary FP ops
+    rd_domain: str | None = None   # 'x', 'f' or None
+    rs1_domain: str | None = None
+    rs2_domain: str | None = None
+    rs3_domain: str | None = None
+
+    @property
+    def is_fp(self) -> bool:
+        """True when the instruction executes in the FP subsystem."""
+        return self.iclass in FP_QUEUE_CLASSES
+
+    @property
+    def is_fp_compute(self) -> bool:
+        """True when the instruction occupies the FPU datapath."""
+        return self.iclass in FP_COMPUTE_CLASSES
+
+
+@dataclass
+class Instr:
+    """One decoded instruction.
+
+    ``imm`` is always a Python int holding the sign-extended immediate; for
+    branches and jumps it is the byte offset relative to the instruction's
+    own address.  ``csr`` holds the CSR address for Zicsr instructions.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    rs3: int = 0
+    imm: int = 0
+    csr: int = 0
+    #: Address of the instruction once placed in a program (filled by the
+    #: assembler); useful for traces.
+    addr: int | None = None
+    #: Original source line, for diagnostics.
+    source: str | None = field(default=None, repr=False)
+
+    @property
+    def spec(self) -> InstrSpec:
+        return SPEC_TABLE[self.mnemonic]
+
+    @property
+    def iclass(self) -> InstrClass:
+        return self.spec.iclass
+
+    @property
+    def is_fp(self) -> bool:
+        return self.spec.is_fp
+
+    @property
+    def is_fp_compute(self) -> bool:
+        return self.spec.is_fp_compute
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.isa.disassembler import format_instr
+
+        return format_instr(self)
+
+
+_OP = 0b0110011
+_OP_IMM = 0b0010011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_BRANCH = 0b1100011
+_LUI = 0b0110111
+_AUIPC = 0b0010111
+_JAL = 0b1101111
+_JALR = 0b1100111
+_SYSTEM = 0b1110011
+_LOAD_FP = 0b0000111
+_STORE_FP = 0b0100111
+_OP_FP = 0b1010011
+_MADD = 0b1000011
+_MSUB = 0b1000111
+_NMSUB = 0b1001011
+_NMADD = 0b1001111
+_CUSTOM0 = 0b0001011   # Xfrep
+_CUSTOM1 = 0b0101011   # Xssr config
+
+
+def _r(mn, iclass, f3, f7, dom="x"):
+    return InstrSpec(mn, Format.R, iclass, _OP, funct3=f3, funct7=f7,
+                     rd_domain=dom, rs1_domain=dom, rs2_domain=dom)
+
+
+def _i(mn, iclass, f3):
+    return InstrSpec(mn, Format.I, iclass, _OP_IMM, funct3=f3,
+                     rd_domain="x", rs1_domain="x")
+
+
+def _sh(mn, f3, f7):
+    return InstrSpec(mn, Format.SHIFT, InstrClass.INT_ALU, _OP_IMM,
+                     funct3=f3, funct7=f7, rd_domain="x", rs1_domain="x")
+
+
+def _ld(mn, f3):
+    return InstrSpec(mn, Format.LOAD, InstrClass.LOAD, _LOAD, funct3=f3,
+                     rd_domain="x", rs1_domain="x")
+
+
+def _st(mn, f3):
+    return InstrSpec(mn, Format.S, InstrClass.STORE, _STORE, funct3=f3,
+                     rs1_domain="x", rs2_domain="x")
+
+
+def _br(mn, f3):
+    return InstrSpec(mn, Format.B, InstrClass.BRANCH, _BRANCH, funct3=f3,
+                     rs1_domain="x", rs2_domain="x")
+
+
+def _csr(mn, f3):
+    return InstrSpec(mn, Format.CSR, InstrClass.CSR, _SYSTEM, funct3=f3,
+                     rd_domain="x", rs1_domain="x")
+
+
+def _csri(mn, f3):
+    return InstrSpec(mn, Format.CSRI, InstrClass.CSR, _SYSTEM, funct3=f3,
+                     rd_domain="x")
+
+
+def _fr(mn, iclass, f7, f3=0b111):
+    # f3=0b111 means "dynamic rounding mode" for arithmetic ops.
+    return InstrSpec(mn, Format.FR, iclass, _OP_FP, funct3=f3, funct7=f7,
+                     rd_domain="f", rs1_domain="f", rs2_domain="f")
+
+
+def _fr4(mn, opcode):
+    return InstrSpec(mn, Format.FR4, InstrClass.FP_FMA, opcode,
+                     funct3=0b111, funct2=0b01, rd_domain="f",
+                     rs1_domain="f", rs2_domain="f", rs3_domain="f")
+
+
+_SPECS: list[InstrSpec] = [
+    # --- RV32I ---------------------------------------------------------
+    _r("add", InstrClass.INT_ALU, 0b000, 0b0000000),
+    _r("sub", InstrClass.INT_ALU, 0b000, 0b0100000),
+    _r("sll", InstrClass.INT_ALU, 0b001, 0b0000000),
+    _r("slt", InstrClass.INT_ALU, 0b010, 0b0000000),
+    _r("sltu", InstrClass.INT_ALU, 0b011, 0b0000000),
+    _r("xor", InstrClass.INT_ALU, 0b100, 0b0000000),
+    _r("srl", InstrClass.INT_ALU, 0b101, 0b0000000),
+    _r("sra", InstrClass.INT_ALU, 0b101, 0b0100000),
+    _r("or", InstrClass.INT_ALU, 0b110, 0b0000000),
+    _r("and", InstrClass.INT_ALU, 0b111, 0b0000000),
+    _i("addi", InstrClass.INT_ALU, 0b000),
+    _i("slti", InstrClass.INT_ALU, 0b010),
+    _i("sltiu", InstrClass.INT_ALU, 0b011),
+    _i("xori", InstrClass.INT_ALU, 0b100),
+    _i("ori", InstrClass.INT_ALU, 0b110),
+    _i("andi", InstrClass.INT_ALU, 0b111),
+    _sh("slli", 0b001, 0b0000000),
+    _sh("srli", 0b101, 0b0000000),
+    _sh("srai", 0b101, 0b0100000),
+    InstrSpec("lui", Format.U, InstrClass.INT_ALU, _LUI, rd_domain="x"),
+    InstrSpec("auipc", Format.U, InstrClass.INT_ALU, _AUIPC, rd_domain="x"),
+    _ld("lb", 0b000),
+    _ld("lh", 0b001),
+    _ld("lw", 0b010),
+    _ld("lbu", 0b100),
+    _ld("lhu", 0b101),
+    _st("sb", 0b000),
+    _st("sh", 0b001),
+    _st("sw", 0b010),
+    _br("beq", 0b000),
+    _br("bne", 0b001),
+    _br("blt", 0b100),
+    _br("bge", 0b101),
+    _br("bltu", 0b110),
+    _br("bgeu", 0b111),
+    InstrSpec("jal", Format.J, InstrClass.JUMP, _JAL, rd_domain="x"),
+    InstrSpec("jalr", Format.JR, InstrClass.JUMP, _JALR, funct3=0b000,
+              rd_domain="x", rs1_domain="x"),
+    InstrSpec("ecall", Format.NONE, InstrClass.SYS, _SYSTEM, funct3=0b000),
+    InstrSpec("ebreak", Format.NONE, InstrClass.SYS, _SYSTEM, funct3=0b000),
+    # --- RV32M ---------------------------------------------------------
+    _r("mul", InstrClass.INT_MUL, 0b000, 0b0000001),
+    _r("mulh", InstrClass.INT_MUL, 0b001, 0b0000001),
+    _r("mulhsu", InstrClass.INT_MUL, 0b010, 0b0000001),
+    _r("mulhu", InstrClass.INT_MUL, 0b011, 0b0000001),
+    _r("div", InstrClass.INT_DIV, 0b100, 0b0000001),
+    _r("divu", InstrClass.INT_DIV, 0b101, 0b0000001),
+    _r("rem", InstrClass.INT_DIV, 0b110, 0b0000001),
+    _r("remu", InstrClass.INT_DIV, 0b111, 0b0000001),
+    # --- Zicsr ---------------------------------------------------------
+    _csr("csrrw", 0b001),
+    _csr("csrrs", 0b010),
+    _csr("csrrc", 0b011),
+    _csri("csrrwi", 0b101),
+    _csri("csrrsi", 0b110),
+    _csri("csrrci", 0b111),
+    # --- F/D loads & stores -------------------------------------------
+    InstrSpec("flw", Format.FLOAD, InstrClass.FP_LOAD, _LOAD_FP, funct3=0b010,
+              rd_domain="f", rs1_domain="x"),
+    InstrSpec("fld", Format.FLOAD, InstrClass.FP_LOAD, _LOAD_FP, funct3=0b011,
+              rd_domain="f", rs1_domain="x"),
+    InstrSpec("fsw", Format.FSTORE, InstrClass.FP_STORE, _STORE_FP,
+              funct3=0b010, rs1_domain="x", rs2_domain="f"),
+    InstrSpec("fsd", Format.FSTORE, InstrClass.FP_STORE, _STORE_FP,
+              funct3=0b011, rs1_domain="x", rs2_domain="f"),
+    # --- D arithmetic ---------------------------------------------------
+    _fr("fadd.d", InstrClass.FP_ADD, 0b0000001),
+    _fr("fsub.d", InstrClass.FP_ADD, 0b0000101),
+    _fr("fmul.d", InstrClass.FP_MUL, 0b0001001),
+    _fr("fdiv.d", InstrClass.FP_DIV, 0b0001101),
+    InstrSpec("fsqrt.d", Format.FR1, InstrClass.FP_SQRT, _OP_FP, funct3=0b111,
+              funct7=0b0101101, rs2_field=0b00000, rd_domain="f",
+              rs1_domain="f"),
+    _fr4("fmadd.d", _MADD),
+    _fr4("fmsub.d", _MSUB),
+    _fr4("fnmsub.d", _NMSUB),
+    _fr4("fnmadd.d", _NMADD),
+    _fr("fsgnj.d", InstrClass.FP_SGNJ, 0b0010001, f3=0b000),
+    _fr("fsgnjn.d", InstrClass.FP_SGNJ, 0b0010001, f3=0b001),
+    _fr("fsgnjx.d", InstrClass.FP_SGNJ, 0b0010001, f3=0b010),
+    _fr("fmin.d", InstrClass.FP_MINMAX, 0b0010101, f3=0b000),
+    _fr("fmax.d", InstrClass.FP_MINMAX, 0b0010101, f3=0b001),
+    InstrSpec("feq.d", Format.FR, InstrClass.FP_CMP, _OP_FP, funct3=0b010,
+              funct7=0b1010001, rd_domain="x", rs1_domain="f",
+              rs2_domain="f"),
+    InstrSpec("flt.d", Format.FR, InstrClass.FP_CMP, _OP_FP, funct3=0b001,
+              funct7=0b1010001, rd_domain="x", rs1_domain="f",
+              rs2_domain="f"),
+    InstrSpec("fle.d", Format.FR, InstrClass.FP_CMP, _OP_FP, funct3=0b000,
+              funct7=0b1010001, rd_domain="x", rs1_domain="f",
+              rs2_domain="f"),
+    InstrSpec("fcvt.w.d", Format.FR1, InstrClass.FP_CVT, _OP_FP, funct3=0b111,
+              funct7=0b1100001, rs2_field=0b00000, rd_domain="x",
+              rs1_domain="f"),
+    InstrSpec("fcvt.d.w", Format.FR1, InstrClass.FP_CVT, _OP_FP, funct3=0b111,
+              funct7=0b1101001, rs2_field=0b00000, rd_domain="f",
+              rs1_domain="x"),
+    # --- Xfrep ----------------------------------------------------------
+    InstrSpec("frep.o", Format.FREP, InstrClass.FREP, _CUSTOM0, funct3=0b000,
+              rs1_domain="x"),
+    InstrSpec("frep.i", Format.FREP, InstrClass.FREP, _CUSTOM0, funct3=0b001,
+              rs1_domain="x"),
+    # --- Xssr config ------------------------------------------------------
+    InstrSpec("scfgw", Format.SCFGW, InstrClass.SCFG, _CUSTOM1, funct3=0b001,
+              funct7=0b0000000, rs1_domain="x", rs2_domain="x"),
+    InstrSpec("scfgr", Format.SCFGR, InstrClass.SCFG, _CUSTOM1, funct3=0b010,
+              funct7=0b0000001, rd_domain="x", rs1_domain="x"),
+    # --- Xdma (cluster DMA engine, integer-core controlled) ----------------
+    InstrSpec("dmsrc", Format.RS1, InstrClass.DMA, _CUSTOM1, funct3=0b011,
+              funct7=0b0000000, rs1_domain="x"),
+    InstrSpec("dmdst", Format.RS1, InstrClass.DMA, _CUSTOM1, funct3=0b011,
+              funct7=0b0000001, rs1_domain="x"),
+    InstrSpec("dmrep", Format.RS1, InstrClass.DMA, _CUSTOM1, funct3=0b011,
+              funct7=0b0000010, rs1_domain="x"),
+    InstrSpec("dmstr", Format.SCFGW, InstrClass.DMA, _CUSTOM1, funct3=0b100,
+              funct7=0b0000000, rs1_domain="x", rs2_domain="x"),
+    InstrSpec("dmcpy", Format.SCFGR, InstrClass.DMA, _CUSTOM1, funct3=0b101,
+              funct7=0b0000000, rd_domain="x", rs1_domain="x"),
+    InstrSpec("dmstat", Format.RD, InstrClass.DMA, _CUSTOM1, funct3=0b110,
+              funct7=0b0000000, rd_domain="x"),
+]
+
+#: Mnemonic -> spec lookup for every supported instruction.
+SPEC_TABLE: dict[str, InstrSpec] = {s.mnemonic: s for s in _SPECS}
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    """Return the :class:`InstrSpec` for ``mnemonic``.
+
+    Raises ``KeyError`` with a helpful message for unknown mnemonics.
+    """
+    try:
+        return SPEC_TABLE[mnemonic]
+    except KeyError:
+        raise KeyError(f"unknown mnemonic {mnemonic!r}") from None

@@ -1,0 +1,81 @@
+"""Register name tables for the integer and floating-point register files.
+
+Snitch is an RV32IMAFD core with a 64-bit FPU data path, so there are 32
+integer registers (``x0``-``x31``, 32-bit) and 32 floating-point registers
+(``f0``-``f31``, 64-bit).  The stream semantic registers of the ``Xssr``
+extension alias ``ft0``-``ft2`` (= ``f0``-``f2``); the chaining extension of
+the paper can be enabled on any FP register through the mask CSR.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Number of stream semantic registers; they alias ``f0 .. f{N-1}``.
+NUM_SSRS = 3
+
+_INT_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+_FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+#: ABI name of each integer register, indexed by register number.
+INT_REG_NAMES = _INT_ABI_NAMES
+
+#: ABI name of each FP register, indexed by register number.
+FP_REG_NAMES = _FP_ABI_NAMES
+
+
+def _build_lookup(abi_names: tuple[str, ...], prefix: str) -> dict[str, int]:
+    table = {name: idx for idx, name in enumerate(abi_names)}
+    for idx in range(len(abi_names)):
+        table[f"{prefix}{idx}"] = idx
+    # 'fp' is the conventional alias for s0/x8.
+    if prefix == "x":
+        table["fp"] = 8
+    return table
+
+
+_INT_LOOKUP = _build_lookup(_INT_ABI_NAMES, "x")
+_FP_LOOKUP = _build_lookup(_FP_ABI_NAMES, "f")
+
+
+def int_reg(name: str) -> int:
+    """Return the integer register number for ``name`` (ABI or ``xN``)."""
+    try:
+        return _INT_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown integer register {name!r}") from None
+
+
+def fp_reg(name: str) -> int:
+    """Return the FP register number for ``name`` (ABI or ``fN``)."""
+    try:
+        return _FP_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown FP register {name!r}") from None
+
+
+def int_reg_name(num: int) -> str:
+    """Return the canonical ABI name of integer register ``num``."""
+    return INT_REG_NAMES[num]
+
+
+def fp_reg_name(num: int) -> str:
+    """Return the canonical ABI name of FP register ``num``."""
+    return FP_REG_NAMES[num]
+
+
+def is_ssr_reg(num: int) -> bool:
+    """True when FP register ``num`` is stream-mapped while SSRs are on."""
+    return 0 <= num < NUM_SSRS

@@ -1,0 +1,51 @@
+"""Registry of the workloads evaluated in the paper and their defaults.
+
+``STENCILS`` maps kernel name to ``(spec factory, default grid)``.  The
+two paper kernels get the grid shapes used by the Fig. 3 reproduction;
+the extra stencils exercise the generator on different tap structures.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.layout import Grid3d
+from repro.kernels.stencil import (
+    StencilSpec,
+    box2d1r,
+    box3d1r,
+    j2d5pt,
+    j3d27pt,
+    star3d1r,
+)
+
+#: name -> (stencil factory, default evaluation grid).
+STENCILS: dict[str, tuple] = {
+    # The two paper kernels.  j3d27pt gets longer rows, amortizing the
+    # per-row stream re-arm better (it shows slightly higher utilization
+    # in the paper as well).
+    "box3d1r": (box3d1r, Grid3d(nz=4, ny=10, nx=48)),
+    "j3d27pt": (j3d27pt, Grid3d(nz=4, ny=6, nx=96)),
+    # Extra kernels (not in the paper's evaluation).
+    "star3d1r": (star3d1r, Grid3d(nz=4, ny=8, nx=32)),
+    "j2d5pt": (j2d5pt, Grid3d(nz=1, ny=16, nx=64)),
+    "box2d1r": (box2d1r, Grid3d(nz=1, ny=12, nx=64)),
+}
+
+#: The kernels of the paper's Fig. 3.
+PAPER_KERNELS = ("box3d1r", "j3d27pt")
+
+KERNELS = dict(STENCILS)
+
+
+def kernel_names() -> list[str]:
+    return list(STENCILS)
+
+
+def get_stencil(name: str) -> tuple[StencilSpec, Grid3d]:
+    """Return ``(spec, default grid)`` for kernel ``name``."""
+    try:
+        factory, grid = STENCILS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(STENCILS)}"
+        ) from None
+    return factory(), grid

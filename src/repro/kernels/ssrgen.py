@@ -1,0 +1,82 @@
+"""Assembly emission helpers for SSR configuration.
+
+Code generators describe a stream with :class:`SsrPatternAsm` and get back
+the ``li``/``scfgw`` sequence that programs the lane.  Values can be
+literal integers or ``%symbol`` references resolved by the assembler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ssr.config import CfgField, MAX_DIMS, cfg_addr
+
+
+def _scfgw(value, ssr: int, cfg_field: int, lines: list[str]) -> None:
+    lines.append(f"    li t0, {value}")
+    lines.append(f"    li t1, {cfg_addr(ssr, cfg_field)}")
+    lines.append("    scfgw t0, t1")
+
+
+@dataclass
+class SsrPatternAsm:
+    """A stream pattern to be programmed into lane ``ssr``."""
+
+    ssr: int
+    base: int | str
+    bounds: list[int] = field(default_factory=list)
+    strides: list[int] = field(default_factory=list)
+    repeat: int = 0
+    write: bool = False
+    indirect: bool = False
+    idx_base: int | str = 0
+    idx_size: int = 4
+    idx_shift: int = 3
+
+    def ctrl_value(self) -> int:
+        ndims = max(1, len(self.bounds))
+        return ((1 if self.write else 0)
+                | (2 if self.indirect else 0)
+                | ((ndims - 1) << 2))
+
+    def emit_setup(self) -> str:
+        """Program everything except CTRL (bounds, strides, repeat, ...).
+
+        Emitted once in the kernel prologue; re-arming per row only needs
+        :meth:`emit_arm` (a BASE update + CTRL commit).
+        """
+        if len(self.bounds) != len(self.strides):
+            raise ValueError("bounds and strides must have equal length")
+        if len(self.bounds) > MAX_DIMS:
+            raise ValueError(f"{len(self.bounds)} dims exceed MAX_DIMS "
+                             f"({MAX_DIMS})")
+        lines: list[str] = [f"    # ssr{self.ssr} pattern setup"]
+        for d, (bound, stride) in enumerate(zip(self.bounds, self.strides)):
+            _scfgw(bound, self.ssr, CfgField.BOUND0 + d, lines)
+            _scfgw(stride, self.ssr, CfgField.STRIDE0 + d, lines)
+        _scfgw(self.repeat, self.ssr, CfgField.REPEAT, lines)
+        if self.indirect:
+            _scfgw(self.idx_base, self.ssr, CfgField.IDX_BASE, lines)
+            idx_cfg = (self.idx_size.bit_length() - 1) \
+                | (self.idx_shift << 4)
+            _scfgw(idx_cfg, self.ssr, CfgField.IDX_CFG, lines)
+        return "\n".join(lines)
+
+    def emit_arm(self, base_reg: str | None = None) -> str:
+        """Write BASE (from a register or the literal) and commit CTRL.
+
+        ``base_reg`` lets loops re-arm with a pointer they maintain in an
+        integer register instead of a constant.
+        """
+        lines: list[str] = [f"    # ssr{self.ssr} arm"]
+        if base_reg is not None:
+            lines.append(f"    li t1, {cfg_addr(self.ssr, CfgField.BASE)}")
+            lines.append(f"    scfgw {base_reg}, t1")
+        else:
+            _scfgw(self.base, self.ssr, CfgField.BASE, lines)
+        _scfgw(self.ctrl_value(), self.ssr, CfgField.CTRL, lines)
+        return "\n".join(lines)
+
+    def emit(self, base_reg: str | None = None) -> str:
+        """Full setup + arm."""
+        return self.emit_setup() + "\n" + self.emit_arm(base_reg)

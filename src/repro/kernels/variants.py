@@ -1,0 +1,65 @@
+"""The five code variants of the paper's evaluation (section III).
+
+========== ============================= ==========================
+variant    stencil coefficients          result writeback
+========== ============================= ==========================
+Base--     explicit loads (RF subset,    explicit ``fsd``
+           per-block reloads of spills)
+Base-      explicit loads, as Base--     SSR (the lane freed by not
+                                         streaming coefficients)
+Base [7]   streamed through an SSR       explicit ``fsd``
+Chaining   register file (chaining frees explicit ``fsd``
+           the registers to hold all)
+Chaining+  register file                 SSR (the lane freed from
+                                         coefficient streaming)
+========== ============================= ==========================
+
+All variants stream the stencil *input* through SSR0 (indirect, SARIS
+style -- the index fetcher occupies the third lane's resources, which is
+why only one further lane is available, matching the paper's setup).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Variant(Enum):
+    """Evaluation variant, ordered as in the paper's Fig. 3."""
+
+    BASE_MM = "Base--"
+    BASE_M = "Base-"
+    BASE = "Base"
+    CHAINING = "Chaining"
+    CHAINING_PLUS = "Chaining+"
+
+    @property
+    def uses_chaining(self) -> bool:
+        return self in (Variant.CHAINING, Variant.CHAINING_PLUS)
+
+    @property
+    def coeffs_via_ssr(self) -> bool:
+        return self is Variant.BASE
+
+    @property
+    def coeffs_in_rf(self) -> bool:
+        """All coefficients register-resident (needs chaining to fit)."""
+        return self.uses_chaining
+
+    @property
+    def writeback_via_ssr(self) -> bool:
+        return self in (Variant.BASE_M, Variant.CHAINING_PLUS)
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+#: Paper plotting/reporting order.
+VARIANT_ORDER = (
+    Variant.BASE_MM,
+    Variant.BASE_M,
+    Variant.BASE,
+    Variant.CHAINING,
+    Variant.CHAINING_PLUS,
+)

@@ -1,0 +1,164 @@
+"""SSR configuration space.
+
+Each SSR lane exposes a small register file written through the ``scfgw``
+instruction (and readable through ``scfgr``).  The config address encodes
+``(ssr, field)`` as ``addr = ssr * 64 + field``.  Field map:
+
+====  ===========  =====================================================
+idx   name         meaning
+====  ===========  =====================================================
+0     CTRL         commit/start; bit0 = write mode, bit1 = indirect,
+                   bits 4:2 = ndims - 1
+1     REPEAT       each element is served ``REPEAT + 1`` times
+2-7   BOUND0-5     iterations per dimension (dimension 0 innermost)
+8-13  STRIDE0-5    byte stride per dimension
+14    BASE         stream base byte address
+15    IDX_BASE     base address of the index array (indirect mode)
+16    IDX_CFG      bits 1:0 = log2(index element bytes), bits 7:4 =
+                   left-shift applied to each index (scale)
+====  ===========  =====================================================
+
+Writing CTRL *arms* the lane: the shadow registers are committed and the
+streamer starts fetching on the next cycle.  Reconfiguring an active lane
+is a programming error and raises, mirroring the RTL assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from enum import IntEnum
+
+
+#: Maximum loop-nest depth.  Snitch ships 4 dimensions; SARIS extends the
+#: generator — we provide 6 and document the extension.
+MAX_DIMS = 6
+
+
+class CfgField(IntEnum):
+    """Field indices within one SSR's config space."""
+
+    CTRL = 0
+    REPEAT = 1
+    BOUND0 = 2
+    STRIDE0 = 8
+    BASE = 14
+    IDX_BASE = 15
+    IDX_CFG = 16
+
+
+class SsrMode(IntEnum):
+    READ = 0
+    WRITE = 1
+
+
+def cfg_addr(ssr: int, field: int) -> int:
+    """Config-space address of ``field`` of lane ``ssr`` (for ``scfgw``)."""
+    return ssr * 64 + field
+
+
+def split_cfg_addr(addr: int) -> tuple[int, int]:
+    """Inverse of :func:`cfg_addr`."""
+    return addr // 64, addr % 64
+
+
+@dataclass
+class SsrConfig:
+    """Committed configuration of one SSR lane."""
+
+    base: int = 0
+    bounds: list[int] = dataclass_field(default_factory=lambda: [1] * MAX_DIMS)
+    strides: list[int] = dataclass_field(default_factory=lambda: [0] * MAX_DIMS)
+    ndims: int = 1
+    repeat: int = 0
+    mode: SsrMode = SsrMode.READ
+    indirect: bool = False
+    idx_base: int = 0
+    idx_size: int = 4      # bytes per index element
+    idx_shift: int = 3     # scale: data addr = base + (index << shift)
+
+    def total_elements(self) -> int:
+        """Number of stream elements described by the loop nest."""
+        count = 1
+        for d in range(self.ndims):
+            count *= self.bounds[d]
+        return count
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on malformed configurations."""
+        if not 1 <= self.ndims <= MAX_DIMS:
+            raise ValueError(f"ndims {self.ndims} out of range 1..{MAX_DIMS}")
+        for d in range(self.ndims):
+            if self.bounds[d] <= 0:
+                raise ValueError(f"bound{d} must be positive, got "
+                                 f"{self.bounds[d]}")
+        if self.repeat < 0:
+            raise ValueError(f"repeat must be non-negative, got {self.repeat}")
+        if self.indirect and self.idx_size not in (2, 4):
+            raise ValueError(f"index element size must be 2 or 4 bytes, got "
+                             f"{self.idx_size}")
+        if self.indirect and self.mode == SsrMode.WRITE and self.repeat:
+            raise ValueError("indirect write streams cannot use repeat")
+
+
+class SsrConfigSpace:
+    """Shadow config registers + commit logic for one lane."""
+
+    def __init__(self, ssr_id: int):
+        self.ssr_id = ssr_id
+        self._shadow = SsrConfig()
+        self.committed: SsrConfig | None = None
+
+    def write(self, field: int, value: int, active: bool) -> None:
+        """Handle one ``scfgw`` to this lane."""
+        if active:
+            raise RuntimeError(
+                f"ssr{self.ssr_id}: config write while stream active"
+            )
+        s = self._shadow
+        if field == CfgField.CTRL:
+            s.mode = SsrMode(value & 1)
+            s.indirect = bool(value & 2)
+            s.ndims = ((value >> 2) & 0x7) + 1
+            s.validate()
+            # Commit a copy so later shadow writes don't disturb the
+            # running stream.
+            self.committed = SsrConfig(
+                base=s.base, bounds=list(s.bounds), strides=list(s.strides),
+                ndims=s.ndims, repeat=s.repeat, mode=s.mode,
+                indirect=s.indirect, idx_base=s.idx_base,
+                idx_size=s.idx_size, idx_shift=s.idx_shift,
+            )
+        elif field == CfgField.REPEAT:
+            s.repeat = value
+        elif CfgField.BOUND0 <= field < CfgField.BOUND0 + MAX_DIMS:
+            s.bounds[field - CfgField.BOUND0] = value
+        elif CfgField.STRIDE0 <= field < CfgField.STRIDE0 + MAX_DIMS:
+            # Strides are signed; scfgw carries a 32-bit two's complement.
+            if value >= 1 << 31:
+                value -= 1 << 32
+            s.strides[field - CfgField.STRIDE0] = value
+        elif field == CfgField.BASE:
+            s.base = value
+        elif field == CfgField.IDX_BASE:
+            s.idx_base = value
+        elif field == CfgField.IDX_CFG:
+            s.idx_size = 1 << (value & 0x3)
+            s.idx_shift = (value >> 4) & 0xF
+        else:
+            raise ValueError(f"ssr{self.ssr_id}: unknown config field "
+                             f"{field}")
+
+    def read(self, field: int) -> int:
+        """Handle one ``scfgr`` from this lane (shadow registers)."""
+        s = self._shadow
+        if field == CfgField.REPEAT:
+            return s.repeat
+        if CfgField.BOUND0 <= field < CfgField.BOUND0 + MAX_DIMS:
+            return s.bounds[field - CfgField.BOUND0]
+        if CfgField.STRIDE0 <= field < CfgField.STRIDE0 + MAX_DIMS:
+            return s.strides[field - CfgField.STRIDE0]
+        if field == CfgField.BASE:
+            return s.base
+        if field == CfgField.IDX_BASE:
+            return s.idx_base
+        raise ValueError(f"ssr{self.ssr_id}: unreadable config field {field}")

@@ -1,0 +1,6 @@
+"""Issue-slot tracing and the textual reproductions of Figs. 1c and 2."""
+
+from repro.trace.events import TraceRecorder
+from repro.trace.render import render_issue_trace, render_dataflow
+
+__all__ = ["TraceRecorder", "render_dataflow", "render_issue_trace"]

@@ -1,0 +1,57 @@
+"""Trace event recording.
+
+A :class:`TraceRecorder` can be handed to :class:`repro.core.Cluster`; the
+FP subsystem and integer core then log one event per issue slot.  The
+recorder also snapshots the chaining valid bits and FPU-pipe occupancy
+each FP event, which is what the Fig. 2-style dataflow rendering shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instr
+
+
+@dataclass
+class FpIssueEvent:
+    cycle: int
+    text: str
+    kind: str               # compute / load / store / csr / scfg / frep
+    chain_valid: int = 0    # packed valid bits at issue time
+    pipe_occupancy: int = 0
+
+
+@dataclass
+class IntIssueEvent:
+    cycle: int
+    text: str
+    dispatched: bool        # True when this was an FP dispatch
+
+
+@dataclass
+class TraceRecorder:
+    """Collects issue events from both halves of the core."""
+
+    fp_events: list[FpIssueEvent] = field(default_factory=list)
+    int_events: list[IntIssueEvent] = field(default_factory=list)
+    #: Attached by the cluster; used to snapshot chaining/pipe state.
+    _fp_subsystem = None
+
+    def attach(self, fp_subsystem) -> None:
+        self._fp_subsystem = fp_subsystem
+
+    def fp_issue(self, cycle: int, instr: Instr, kind: str) -> None:
+        chain_valid = 0
+        occupancy = 0
+        if self._fp_subsystem is not None:
+            chain_valid = self._fp_subsystem.chain.status()
+            occupancy = len(self._fp_subsystem.pipe)
+        self.fp_events.append(
+            FpIssueEvent(cycle, str(instr), kind, chain_valid, occupancy))
+
+    def int_issue(self, cycle: int, instr: Instr, dispatched: bool) -> None:
+        self.int_events.append(IntIssueEvent(cycle, str(instr), dispatched))
+
+    def fp_events_between(self, start: int, end: int) -> list[FpIssueEvent]:
+        return [e for e in self.fp_events if start <= e.cycle < end]

@@ -1,0 +1,61 @@
+"""Textual renderings of the paper's trace figures.
+
+* :func:`render_issue_trace` reproduces Fig. 1c: a numbered FP issue-slot
+  listing where empty slots are stall bubbles, annotated with the stall
+  that caused them.
+* :func:`render_dataflow` reproduces the spirit of Fig. 2: per issue slot,
+  the FPU pipe occupancy and the chaining registers' valid bits, i.e. the
+  logical FIFO formed by "pipeline registers + architectural register".
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import TraceRecorder
+
+
+def render_issue_trace(trace: TraceRecorder, start_cycle: int = 0,
+                       max_slots: int = 40, show_int: bool = False) -> str:
+    """Fig. 1c style: one line per cycle on the FP issue port."""
+    events = {e.cycle: e for e in trace.fp_events}
+    int_events = {e.cycle: e for e in trace.int_events}
+    if not events:
+        return "(no FP issue events)"
+    first = max(start_cycle, min(events))
+    lines = ["slot  fp issue", "----  --------"]
+    for slot, cycle in enumerate(range(first, first + max_slots), start=1):
+        event = events.get(cycle)
+        text = event.text if event else ""
+        line = f"{slot:>4}  {text}"
+        if show_int and cycle in int_events:
+            pad = max(1, 34 - len(line))
+            line += " " * pad + f"| int: {int_events[cycle].text}"
+        lines.append(line.rstrip())
+    return "\n".join(lines)
+
+
+def render_dataflow(trace: TraceRecorder, chain_reg: int = 3,
+                    start_cycle: int = 0, max_slots: int = 32) -> str:
+    """Fig. 2 style: FIFO state (pipe occupancy + valid bit) per slot.
+
+    The column ``fifo`` draws the logical chaining FIFO: ``#`` for each
+    occupied FPU pipeline register and ``V``/``.`` for the architectural
+    register's valid bit.
+    """
+    events = {e.cycle: e for e in trace.fp_events}
+    if not events:
+        return "(no FP issue events)"
+    first = max(start_cycle, min(events))
+    lines = [f"slot  fifo(pipe+f{chain_reg})  fp issue",
+             "----  -------------  --------"]
+    for slot, cycle in enumerate(range(first, first + max_slots), start=1):
+        event = events.get(cycle)
+        if event is not None:
+            pipe = "#" * event.pipe_occupancy
+            valid = "V" if (event.chain_valid >> chain_reg) & 1 else "."
+            fifo = f"[{pipe:<3}|{valid}]"
+            text = event.text
+        else:
+            fifo = "  ...  "
+            text = ""
+        lines.append(f"{slot:>4}  {fifo:<13}  {text}".rstrip())
+    return "\n".join(lines)

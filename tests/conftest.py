@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.kernels.layout import Grid3d
+
+
+@pytest.fixture
+def cfg() -> CoreConfig:
+    """Default core configuration."""
+    return CoreConfig()
+
+
+@pytest.fixture
+def tiny_grid() -> Grid3d:
+    """Smallest practical stencil grid (fast integration tests)."""
+    return Grid3d(nz=2, ny=3, nx=8)
+
+
+@pytest.fixture
+def small_grid() -> Grid3d:
+    """A slightly larger grid for steady-state behaviour."""
+    return Grid3d(nz=2, ny=4, nx=16)

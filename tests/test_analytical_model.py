@@ -1,0 +1,99 @@
+"""Cycle-model validation against closed-form analytical expectations.
+
+For simple steady-state kernels the cycle count can be derived by hand
+from the microarchitectural rules; these tests pin the simulator to that
+arithmetic, which is what makes the Fig. 3 shapes trustworthy.
+"""
+
+import pytest
+
+from repro.eval.runner import run_build
+from repro.kernels.layout import Grid3d
+from repro.kernels.stencil import box3d1r
+from repro.kernels.stencil_codegen import build_stencil
+from repro.kernels.variants import Variant
+from repro.kernels.vecop import VecopVariant, build_vecop
+
+
+def test_vecop_baseline_period_is_2_plus_latency():
+    # Steady state of Fig. 1a: fadd, 3 RAW stalls, fmul -> 5 cycles per
+    # element (with frep, the integer core adds nothing).
+    n = 256
+    result = run_build(build_vecop(n=n, variant=VecopVariant.BASELINE))
+    period = result.region_cycles / n
+    assert period == pytest.approx(5.0, abs=0.2)
+
+
+def test_vecop_chaining_period_is_2():
+    n = 256
+    result = run_build(build_vecop(n=n, variant=VecopVariant.CHAINING))
+    period = result.region_cycles / n
+    assert period == pytest.approx(2.0, abs=0.1)
+
+
+def test_vecop_bne_loop_adds_int_overhead():
+    # With a bne loop the integer core must issue addi+bne (+2-cycle
+    # taken-branch penalty) per iteration; the FP queue drains meanwhile,
+    # so every iteration costs ~4 extra queue-empty cycles over frep.
+    n = 128
+    frep = run_build(build_vecop(n=n, variant=VecopVariant.CHAINING,
+                                 loop_mode="frep"))
+    bne = run_build(build_vecop(n=n, variant=VecopVariant.CHAINING,
+                                loop_mode="bne"))
+    iters = n // 4
+    extra_per_iter = (bne.region_cycles - frep.region_cycles) / iters
+    assert 2.0 <= extra_per_iter <= 6.0
+
+
+def _issue_slots_per_block(variant: Variant, ntaps: int, unroll: int,
+                           spills: int) -> int:
+    """FP issue slots per inner block, from the DESIGN.md accounting."""
+    compute = ntaps * unroll
+    stores = 0 if variant.writeback_via_ssr else unroll
+    loads = 0 if variant.coeffs_via_ssr or variant.coeffs_in_rf else spills
+    return compute + stores + loads
+
+
+@pytest.mark.parametrize("variant,spills", [
+    (Variant.BASE, 0),
+    (Variant.BASE_MM, 4),
+    (Variant.CHAINING_PLUS, 0),
+])
+def test_stencil_block_slot_accounting(variant, spills):
+    # Region cycles per block = FP slots + integer-loop overhead
+    # (addi/bne + branch penalty, and the out-pointer bump for
+    # explicit-store variants) + second-order stalls.  The analytical
+    # slot count must explain the measurement to within ~10%.
+    grid = Grid3d(nz=2, ny=4, nx=32)
+    build = build_stencil(box3d1r(), grid, variant)
+    result = run_build(build)
+    blocks = build.meta["blocks"]
+    slots = _issue_slots_per_block(variant, 27, 4, spills)
+    int_overhead = 4 if variant.writeback_via_ssr else 5
+    expected = slots + int_overhead
+    measured = result.region_cycles / blocks
+    assert measured == pytest.approx(expected, rel=0.10), (
+        f"{variant.label}: measured {measured:.1f} cycles/block, "
+        f"analytical {expected}"
+    )
+
+
+def test_stencil_compute_op_count_is_exact():
+    grid = Grid3d(nz=2, ny=3, nx=16)
+    for variant in (Variant.BASE, Variant.CHAINING):
+        build = build_stencil(box3d1r(), grid, variant)
+        result = run_build(build)
+        # taps * points, exactly -- no op is ever lost or duplicated.
+        assert result.meta["expected_compute_ops"] == 27 * grid.points
+
+
+def test_speedup_follows_slot_ratio():
+    # The Chaining+ vs Base speedup must track the issue-slot ratio
+    # (112+int)/(108+int) within a couple of points.
+    grid = Grid3d(nz=2, ny=4, nx=32)
+    base = run_build(build_stencil(box3d1r(), grid, Variant.BASE))
+    plus = run_build(build_stencil(box3d1r(), grid,
+                                   Variant.CHAINING_PLUS))
+    measured = base.region_cycles / plus.region_cycles
+    analytical = (112 + 5) / (108 + 4)
+    assert measured == pytest.approx(analytical, rel=0.04)

@@ -1,0 +1,68 @@
+"""CLI tests (fast paths only; fig3/claims are covered by benchmarks)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "box3d1r" in out
+    assert "Chaining+" in out
+
+
+def test_fig1_with_json(tmp_path, capsys):
+    path = tmp_path / "fig1.json"
+    assert main(["fig1", "--n", "64", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out
+    data = json.loads(path.read_text())
+    assert set(data) == {"baseline", "unrolled", "chaining"}
+    assert data["chaining"]["correct"]
+    assert data["chaining"]["fpu_utilization"] > \
+        data["baseline"]["fpu_utilization"]
+
+
+def test_run_single_kernel(tmp_path, capsys):
+    path = tmp_path / "run.json"
+    rc = main(["run", "--kernel", "box3d1r", "--variant", "Chaining+",
+               "--nz", "2", "--ny", "3", "--nx", "8",
+               "--json", str(path)])
+    assert rc == 0
+    record = json.loads(path.read_text())
+    assert record["correct"]
+    assert record["fpu_utilization"] > 0.5
+
+
+def test_run_unknown_variant_exits():
+    with pytest.raises(SystemExit, match="unknown variant"):
+        main(["run", "--variant", "Turbo"])
+
+
+def test_run_partial_grid_exits():
+    with pytest.raises(SystemExit, match="together"):
+        main(["run", "--nz", "2"])
+
+
+def test_trace_chaining(capsys):
+    assert main(["trace", "--variant", "chaining", "--n", "8",
+                 "--slots", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "fp issue" in out
+    assert "fifo" in out          # dataflow section for chaining
+
+
+def test_trace_baseline_no_dataflow(capsys):
+    assert main(["trace", "--variant", "baseline", "--n", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "fifo" not in out
+
+
+def test_area(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "chaining overhead" in out
+    assert "<2%" in out

@@ -1,0 +1,107 @@
+"""Unit tests of the chaining controller (the paper's section II rules)."""
+
+import pytest
+
+from repro.core.chaining import ChainController
+
+
+def test_mask_write_and_read():
+    chain = ChainController()
+    chain.write_mask(0b1000)
+    assert chain.read_mask() == 0b1000
+    assert chain.enabled(3)
+    assert not chain.enabled(4)
+
+
+def test_mask_truncated_to_register_count():
+    chain = ChainController(num_regs=32)
+    chain.write_mask(1 << 40 | 1 << 3)
+    assert chain.read_mask() == 1 << 3
+
+
+def test_newly_enabled_register_starts_empty():
+    chain = ChainController()
+    chain.write_mask(1 << 3)
+    chain.note_push(3)
+    assert chain.can_pop(3)
+    # Re-enabling (already set) must not clear the FIFO...
+    chain.write_mask(1 << 3)
+    assert chain.can_pop(3)
+    # ...but disabling and enabling again starts empty.
+    chain.write_mask(0)
+    chain.write_mask(1 << 3)
+    assert not chain.can_pop(3)
+
+
+def test_pop_clears_valid_push_sets_it():
+    chain = ChainController()
+    chain.write_mask(1 << 5)
+    assert not chain.can_pop(5)
+    chain.note_push(5)
+    assert chain.can_pop(5)
+    chain.note_pop(5)
+    assert not chain.can_pop(5)
+
+
+def test_push_refused_while_valid():
+    chain = ChainController()
+    chain.write_mask(1 << 3)
+    chain.note_push(3)
+    chain.begin_cycle()
+    assert not chain.can_push(3)
+
+
+def test_concurrent_pop_then_push_same_cycle():
+    chain = ChainController(concurrent_push_pop=True)
+    chain.write_mask(1 << 3)
+    chain.note_push(3)
+    chain.begin_cycle()
+    chain.note_pop(3)
+    assert chain.can_push(3)
+
+
+def test_conservative_mode_refuses_same_cycle_pop_push():
+    # Conservative: acceptance is judged on the top-of-cycle valid bit,
+    # so a pop earlier in the same cycle does not unlock the push.
+    chain = ChainController(concurrent_push_pop=False)
+    chain.write_mask(1 << 3)
+    chain.note_push(3)
+    chain.begin_cycle()
+    chain.note_pop(3)
+    assert not chain.can_push(3)
+    # Next cycle the register was empty at the start: push accepted.
+    chain.begin_cycle()
+    assert chain.can_push(3)
+
+
+def test_status_packs_valid_bits():
+    chain = ChainController()
+    chain.write_mask((1 << 3) | (1 << 7))
+    chain.note_push(3)
+    chain.note_push(7)
+    assert chain.status() == (1 << 3) | (1 << 7)
+    chain.note_pop(3)
+    assert chain.status() == 1 << 7
+
+
+def test_statistics():
+    chain = ChainController()
+    chain.write_mask(1 << 3)
+    chain.note_push(3)
+    chain.note_pop(3)
+    chain.note_backpressure()
+    assert chain.pushes == 1
+    assert chain.pops == 1
+    assert chain.backpressure_events == 1
+
+
+def test_begin_cycle_resets_pop_tracking():
+    chain = ChainController(concurrent_push_pop=True)
+    chain.write_mask(1 << 3)
+    chain.note_push(3)
+    chain.begin_cycle()
+    chain.note_pop(3)
+    chain.note_push(3)
+    assert chain.can_push(3)   # popped this cycle
+    chain.begin_cycle()
+    assert not chain.can_push(3)   # new cycle: valid and not popped

@@ -1,0 +1,125 @@
+"""Cluster-level odds and ends: timeouts, metrics, corner semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster, CoreConfig
+from repro.core.cluster import SimulationTimeout
+
+
+def test_timeout_raises():
+    cluster = Cluster("""
+loop:
+    j loop
+""")
+    with pytest.raises(SimulationTimeout):
+        cluster.run(max_cycles=200)
+
+
+def test_runtime_seconds_uses_clock():
+    cfg = CoreConfig()
+    cfg.clock_hz = 2.0e9
+    cluster = Cluster("nop\nnop\nebreak", cfg=cfg)
+    cluster.run()
+    assert cluster.runtime_seconds() == pytest.approx(
+        cluster.cycle / 2.0e9)
+
+
+def test_allocator_helper():
+    cluster = Cluster("ebreak")
+    alloc = cluster.allocator()
+    a = alloc.alloc_f64(10)
+    b = alloc.alloc_f64(10)
+    assert b >= a + 80
+    assert a >= 0x1000
+
+
+def test_done_only_after_drain():
+    # ebreak halts the integer core while four FP ops are still queued;
+    # done must wait for the FP subsystem.
+    cluster = Cluster("""
+    li a0, 0x2000
+    fld fa0, 0(a0)
+    fmul.d fa1, fa0, fa0
+    fmul.d fa2, fa0, fa0
+    fmul.d fa3, fa0, fa0
+    fmul.d fa4, fa0, fa0
+    ebreak
+""")
+    cluster.mem.write_f64(0x2000, 2.0)
+    while not cluster.core.halted:
+        cluster.step()
+    assert not cluster.done          # FPU work still in flight
+    cluster.run()
+    assert cluster.done
+    assert cluster.fp.fpregs.values[14] == 4.0
+
+
+def test_chaining_with_unpipelined_divide():
+    # A divide writing a chaining register: the FIFO semantics hold even
+    # for the iterative unit (push at its late writeback).
+    cluster = Cluster("""
+    li a0, 0x2000
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    csrrwi x0, chain_mask, 8
+    fdiv.d ft3, fa0, fa1
+    fadd.d ft3, fa0, fa1
+    fmul.d fa2, ft3, fa1
+    fmul.d fa3, ft3, fa1
+    csrrwi x0, chain_mask, 0
+    ebreak
+""")
+    cluster.mem.write_f64(0x2000, 6.0)
+    cluster.mem.write_f64(0x2008, 2.0)
+    cluster.run()
+    assert cluster.fp.fpregs.values[12] == 3.0 * 2.0   # div result first
+    assert cluster.fp.fpregs.values[13] == 8.0 * 2.0   # then the add
+
+
+def test_chain_mask_on_stream_register_is_shadowed():
+    # SSR mapping takes precedence over chaining for ft0-ft2: with SSRs
+    # enabled, reads of ft0 pop the stream even when the chain mask names
+    # it; the chain bit only matters while SSRs are off.
+    from repro.kernels.ssrgen import SsrPatternAsm
+
+    prog = "\n".join([
+        SsrPatternAsm(ssr=0, base=0x2000, bounds=[2], strides=[8]).emit(),
+        "    csrrwi x0, chain_mask, 1",   # bit 0 = ft0
+        "    csrrsi x0, ssr_enable, 1",
+        "    fadd.d fa0, ft0, ft0",       # two stream pops
+        "    csrrci x0, ssr_enable, 1",
+        "    csrrwi x0, chain_mask, 0",
+        "    ebreak",
+    ])
+    cluster = Cluster(prog)
+    cluster.load_f64(0x2000, np.array([1.5, 2.5]))
+    cluster.run()
+    assert cluster.fp.fpregs.values[10] == 4.0
+
+
+def test_mark_region_excludes_prologue():
+    cluster = Cluster("""
+    li a0, 0x2000
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    csrrwi x0, sim_mark, 1
+    fadd.d fa2, fa0, fa1
+    fadd.d fa3, fa0, fa1
+    csrr t0, ssr_enable
+    csrrwi x0, sim_mark, 2
+    ebreak
+""")
+    cluster.mem.write_f64(0x2000, 1.0)
+    cluster.run()
+    assert cluster.perf.region_cycles(1, 2) < cluster.cycle
+    assert cluster.perf.delta("fpu_compute_ops", 1, 2) == 2
+
+
+def test_step_is_idempotent_after_done():
+    cluster = Cluster("ebreak")
+    cluster.run()
+    cycle = cluster.cycle
+    cluster.step()
+    assert cluster.cycle == cycle + 1   # stepping is allowed, harmless
+    assert cluster.done

@@ -1,0 +1,52 @@
+"""Core configuration validation tests."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.isa.instructions import InstrClass
+
+
+def test_defaults_are_snitch_like():
+    cfg = CoreConfig()
+    cfg.validate()
+    assert cfg.fpu_latency[InstrClass.FP_FMA] == 3
+    assert cfg.fpu_pipe_depth == 3
+    assert cfg.num_ssrs == 3
+    assert cfg.clock_hz == 1.0e9
+
+
+def test_latency_lookup():
+    cfg = CoreConfig()
+    assert cfg.fpu_latency_of(InstrClass.FP_DIV) > \
+        cfg.fpu_latency_of(InstrClass.FP_FMA)
+    with pytest.raises(KeyError):
+        cfg.fpu_latency_of(InstrClass.INT_ALU)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("fpu_pipe_depth", 0),
+    ("fp_queue_depth", 0),
+    ("num_ssrs", 4),
+    ("num_ssrs", -1),
+    ("ssr_fifo_depth", 0),
+])
+def test_invalid_configs_rejected(field, value):
+    cfg = CoreConfig()
+    setattr(cfg, field, value)
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_invalid_latency_rejected():
+    cfg = CoreConfig()
+    cfg.fpu_latency = dict(cfg.fpu_latency)
+    cfg.fpu_latency[InstrClass.FP_ADD] = 0
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_configs_independent():
+    a = CoreConfig()
+    b = CoreConfig()
+    a.fpu_latency[InstrClass.FP_ADD] = 9
+    assert b.fpu_latency[InstrClass.FP_ADD] == 3

@@ -1,0 +1,133 @@
+"""FP instruction execution end to end through the cluster."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster
+
+DATA = 0x2000
+OUT = 0x3000
+
+
+def run_fp(body: str, values=(2.0, 0.5, -3.0)):
+    prog = f"""
+    li a0, {DATA}
+    li a1, {OUT}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    fld fa2, 16(a0)
+{body}
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.load_f64(DATA, np.array(values))
+    cluster.run()
+    return cluster
+
+
+def test_arith_chain():
+    cluster = run_fp("""
+    fadd.d fa3, fa0, fa1
+    fmul.d fa4, fa3, fa2
+    fsub.d fa5, fa4, fa0
+    fdiv.d fa6, fa5, fa1
+    fsd fa6, 0(a1)
+""")
+    expected = (((2.0 + 0.5) * -3.0) - 2.0) / 0.5
+    assert cluster.mem.read_f64(OUT) == expected
+
+
+def test_fmadd_family():
+    cluster = run_fp("""
+    fmadd.d fa3, fa0, fa1, fa2
+    fmsub.d fa4, fa0, fa1, fa2
+    fnmadd.d fa5, fa0, fa1, fa2
+    fnmsub.d fa6, fa0, fa1, fa2
+    fsd fa3, 0(a1)
+    fsd fa4, 8(a1)
+    fsd fa5, 16(a1)
+    fsd fa6, 24(a1)
+""")
+    a, b, c = 2.0, 0.5, -3.0
+    out = cluster.read_f64(OUT, (4,))
+    assert list(out) == [a * b + c, a * b - c, -(a * b) - c, -(a * b) + c]
+
+
+def test_sqrt_and_div_latencies_still_correct():
+    cluster = run_fp("""
+    fmul.d fa3, fa0, fa0
+    fsqrt.d fa4, fa3
+    fsd fa4, 0(a1)
+""")
+    assert cluster.mem.read_f64(OUT) == 2.0
+
+
+def test_min_max_sgnj():
+    cluster = run_fp("""
+    fmin.d fa3, fa0, fa2
+    fmax.d fa4, fa0, fa2
+    fsgnjn.d fa5, fa0, fa2
+    fsd fa3, 0(a1)
+    fsd fa4, 8(a1)
+    fsd fa5, 16(a1)
+""")
+    out = cluster.read_f64(OUT, (3,))
+    assert list(out) == [-3.0, 2.0, 2.0]
+
+
+def test_fmv_pseudo():
+    cluster = run_fp("""
+    fmv.d fa3, fa2
+    fsd fa3, 0(a1)
+""")
+    assert cluster.mem.read_f64(OUT) == -3.0
+
+
+def test_fp_compare_returns_to_int_core():
+    cluster = run_fp("""
+    flt.d t0, fa1, fa0      # 0.5 < 2.0 -> 1
+    sw t0, 0(a1)
+    feq.d t1, fa0, fa2      # 2.0 == -3.0 -> 0
+    sw t1, 4(a1)
+""")
+    assert cluster.mem.read_u32(OUT) == 1
+    assert cluster.mem.read_u32(OUT + 4) == 0
+
+
+def test_fcvt_roundtrip_through_int():
+    cluster = run_fp("""
+    li t0, -7
+    fcvt.d.w fa3, t0
+    fmul.d fa4, fa3, fa0
+    fcvt.w.d t1, fa4
+    sw t1, 0(a1)
+""")
+    assert cluster.mem.read_u32(OUT) == (-14) & 0xFFFFFFFF
+
+
+def test_branch_on_fp_compare():
+    cluster = run_fp("""
+    flt.d t0, fa0, fa1
+    bnez t0, smaller
+    li t1, 111
+    j done
+smaller:
+    li t1, 222
+done:
+    sw t1, 0(a1)
+""")
+    assert cluster.mem.read_u32(OUT) == 111
+
+
+def test_fp_load_store_negative_offsets():
+    cluster = run_fp(f"""
+    li a2, {DATA + 16}
+    fld fa3, -16(a2)
+    fsd fa3, 16(a2)
+    fld fa4, 16(a2)     # reads back what the store just wrote
+    fsd fa4, 0(a1)
+""")
+    assert cluster.mem.read_f64(DATA + 32) == 2.0
+    assert cluster.mem.read_f64(OUT) == 2.0

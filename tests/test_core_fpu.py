@@ -1,0 +1,113 @@
+"""FPU functional semantics and pipeline mechanics."""
+
+import math
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.fpu import FpuPipe, execute_fp
+from repro.isa.instructions import Instr, InstrClass
+
+
+# -- functional semantics ------------------------------------------------------
+
+@pytest.mark.parametrize("mn,ops,expected", [
+    ("fadd.d", [1.5, 2.25], 3.75),
+    ("fsub.d", [1.5, 2.25], -0.75),
+    ("fmul.d", [3.0, -2.0], -6.0),
+    ("fdiv.d", [7.0, 2.0], 3.5),
+    ("fsqrt.d", [9.0], 3.0),
+    ("fmadd.d", [2.0, 3.0, 4.0], 10.0),
+    ("fmsub.d", [2.0, 3.0, 4.0], 2.0),
+    ("fnmsub.d", [2.0, 3.0, 4.0], -2.0),
+    ("fnmadd.d", [2.0, 3.0, 4.0], -10.0),
+    ("fmin.d", [1.0, -2.0], -2.0),
+    ("fmax.d", [1.0, -2.0], 1.0),
+    ("feq.d", [1.0, 1.0], 1),
+    ("feq.d", [1.0, 2.0], 0),
+    ("flt.d", [1.0, 2.0], 1),
+    ("fle.d", [2.0, 2.0], 1),
+    ("fcvt.d.w", [5], 5.0),
+    ("fcvt.w.d", [5.75], 5),
+    ("fcvt.w.d", [-5.75], -5),
+])
+def test_execute_fp(mn, ops, expected):
+    assert execute_fp(mn, ops) == expected
+
+
+def test_sign_injection():
+    assert execute_fp("fsgnj.d", [3.0, -1.0]) == -3.0
+    assert execute_fp("fsgnjn.d", [3.0, -1.0]) == 3.0
+    assert execute_fp("fsgnjx.d", [-3.0, -1.0]) == 3.0
+    assert execute_fp("fsgnjx.d", [-3.0, 1.0]) == -3.0
+
+
+def test_fcvt_w_d_saturates():
+    assert execute_fp("fcvt.w.d", [1e300]) == (1 << 31) - 1
+    assert execute_fp("fcvt.w.d", [-1e300]) == -(1 << 31)
+    assert execute_fp("fcvt.w.d", [float("nan")]) == (1 << 31) - 1
+
+
+def test_wrong_arity_raises():
+    with pytest.raises(ValueError, match="expects"):
+        execute_fp("fadd.d", [1.0])
+
+
+def test_fma_is_mul_then_add_double_rounding():
+    # Our FMA is modelled as two rounded operations (see fpu docstring);
+    # this documents the convention the golden models rely on.
+    a, b, c = 1e16, 1.0 + 2**-52, -1e16
+    assert execute_fp("fmadd.d", [a, b, c]) == a * b + c
+
+
+# -- pipeline mechanics ---------------------------------------------------------
+
+def fadd(rd=3):
+    return Instr("fadd.d", rd=rd, rs1=0, rs2=1)
+
+
+def fdiv(rd=3):
+    return Instr("fdiv.d", rd=rd, rs1=0, rs2=1)
+
+
+def test_pipe_completion_after_latency(cfg):
+    pipe = FpuPipe(cfg)
+    pipe.issue(fadd(), 3, False, 1.0, cycle=10)
+    assert not pipe.head_complete(12)
+    assert pipe.head_complete(13)     # latency 3
+
+
+def test_pipe_in_order_single_writeback_port(cfg):
+    pipe = FpuPipe(cfg)
+    pipe.issue(fdiv(3), 3, False, 1.0, cycle=0)    # completes at 11
+    pipe.issue(fadd(4), 4, False, 2.0, cycle=1)    # would be 4, pushed to 12
+    head = pipe.retire_head()
+    assert head.completes_at == 11
+    assert pipe.head().completes_at == 12
+
+
+def test_pipe_capacity(cfg):
+    pipe = FpuPipe(cfg)
+    for i in range(cfg.fpu_pipe_depth):
+        assert pipe.can_accept(i, InstrClass.FP_ADD, head_will_retire=False)
+        pipe.issue(fadd(), 3, False, 1.0, cycle=i)
+    assert not pipe.can_accept(3, InstrClass.FP_ADD, head_will_retire=False)
+    # A retiring head frees one slot for the same cycle.
+    assert pipe.can_accept(3, InstrClass.FP_ADD, head_will_retire=True)
+
+
+def test_unpipelined_div_blocks(cfg):
+    pipe = FpuPipe(cfg)
+    pipe.issue(fdiv(), 3, False, 1.0, cycle=0)
+    assert pipe.has_unpipelined_in_flight()
+    assert not pipe.can_accept(1, InstrClass.FP_ADD, head_will_retire=False)
+    assert not pipe.can_accept(1, InstrClass.FP_ADD, head_will_retire=True)
+
+
+def test_latency_table_respected():
+    cfg = CoreConfig()
+    cfg.fpu_latency[InstrClass.FP_ADD] = 5
+    pipe = FpuPipe(cfg)
+    pipe.issue(fadd(), 3, False, 1.0, cycle=0)
+    assert not pipe.head_complete(4)
+    assert pipe.head_complete(5)

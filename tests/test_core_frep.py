@@ -1,0 +1,164 @@
+"""FREP hardware-loop integration tests (through the full cluster)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster
+from repro.kernels.ssrgen import SsrPatternAsm
+
+DATA = 0x2000
+OUT = 0x3000
+
+
+def test_frep_outer_accumulates():
+    # Sum fa1 into fa0 eight times without any integer-core loop.
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    li t0, 7
+    frep.o t0, 0
+    fadd.d fa0, fa0, fa1
+    li a1, {OUT}
+    fsd fa0, 0(a1)
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([1.0, 0.25]))
+    cluster.run()
+    assert cluster.mem.read_f64(OUT) == 1.0 + 8 * 0.25
+
+
+def test_frep_outer_multi_instruction_body():
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    fld fa2, 16(a0)
+    li t0, 3
+    frep.o t0, 1
+    fadd.d fa0, fa0, fa1
+    fmul.d fa2, fa2, fa1
+    li a1, {OUT}
+    fsd fa0, 0(a1)
+    fsd fa2, 8(a1)
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([0.0, 2.0, 1.0]))
+    cluster.run()
+    assert cluster.mem.read_f64(OUT) == 8.0       # 4 adds of 2.0
+    assert cluster.mem.read_f64(OUT + 8) == 16.0  # 1.0 * 2^4
+
+
+def test_frep_inner_repeats_instruction():
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    fld fa2, 16(a0)
+    li t0, 2
+    frep.i t0, 1
+    fadd.d fa0, fa0, fa1
+    fmul.d fa2, fa2, fa1
+    li a1, {OUT}
+    fsd fa0, 0(a1)
+    fsd fa2, 8(a1)
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([0.0, 2.0, 1.0]))
+    cluster.run()
+    # Each body instruction runs 3 times: fa0 += 2 three times, then
+    # fa2 *= 2 three times.
+    assert cluster.mem.read_f64(OUT) == 6.0
+    assert cluster.mem.read_f64(OUT + 8) == 8.0
+
+
+def test_frep_with_stagger_spreads_accumulators():
+    # Stagger rd and rs1 over two registers: fa0/fa1 alternate as
+    # accumulator, Snitch's register-rotation aid.
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    fld fa2, 16(a0)
+    li t0, 3
+    frep.o t0, 0, 1, 3
+    fadd.d fa0, fa0, fa2
+    li a1, {OUT}
+    fsd fa0, 0(a1)
+    fsd fa1, 8(a1)
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([10.0, 20.0, 1.0]))
+    cluster.run()
+    # Iterations alternate fa0 += 1 / fa1 += 1, twice each.
+    assert cluster.mem.read_f64(OUT) == 12.0
+    assert cluster.mem.read_f64(OUT + 8) == 22.0
+
+
+def test_frep_keeps_fpu_fed_without_int_core():
+    """The whole point of frep: dispatch once, repeat many times.
+
+    The body uses four rotating destinations so writebacks retire before
+    the WAW re-use (a single-destination body would be WAW-bound -- that
+    is exactly the problem chaining solves with *one* register).
+    """
+    iters = 16
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    csrrwi x0, sim_mark, 1
+    li t0, {iters - 1}
+    frep.o t0, 3
+    fmul.d fa2, fa0, fa1
+    fmul.d fa3, fa0, fa1
+    fmul.d fa4, fa0, fa1
+    fmul.d fa5, fa0, fa1
+    csrr t1, ssr_enable
+    csrrwi x0, sim_mark, 2
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([1.0, 1.0]))
+    cluster.run()
+    util = cluster.perf.fpu_utilization(1, 2)
+    assert util > 0.9
+    assert cluster.perf.value("int_instrs") < 4 * iters
+
+
+def test_frep_single_destination_body_is_waw_bound():
+    # Counterpart of the test above: one architectural destination limits
+    # the repeated body to 1 op per (latency+1) cycles.
+    iters = 16
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    csrrwi x0, sim_mark, 1
+    li t0, {iters - 1}
+    frep.o t0, 0
+    fmul.d fa2, fa0, fa1
+    csrr t1, ssr_enable
+    csrrwi x0, sim_mark, 2
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([1.0, 1.0]))
+    cluster.run()
+    util = cluster.perf.fpu_utilization(1, 2)
+    assert util < 0.3
+
+
+def test_frep_zero_reps_runs_once():
+    cluster = Cluster(f"""
+    li a0, {DATA}
+    fld fa0, 0(a0)
+    fld fa1, 8(a0)
+    li t0, 0
+    frep.o t0, 0
+    fadd.d fa0, fa0, fa1
+    li a1, {OUT}
+    fsd fa0, 0(a1)
+    ebreak
+""")
+    cluster.load_f64(DATA, np.array([1.0, 2.0]))
+    cluster.run()
+    assert cluster.mem.read_f64(OUT) == 3.0

@@ -1,0 +1,197 @@
+"""Integer core execution semantics, end to end through the cluster."""
+
+import pytest
+
+from repro.core import Cluster
+
+OUT = 0x4000
+
+
+def run_and_read(body: str, out_words: int = 1, **symbols):
+    symbols.setdefault("out", OUT)
+    prog = f"{body}\n    ebreak\n"
+    cluster = Cluster(prog, symbols=symbols)
+    cluster.run()
+    words = [cluster.mem.read_u32(OUT + 4 * i) for i in range(out_words)]
+    return words if out_words > 1 else words[0], cluster
+
+
+def store_result(reg="a0"):
+    return f"""
+    li t6, %out
+    sw {reg}, 0(t6)
+"""
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 5, 7, 12),
+    ("sub", 5, 7, 0xFFFFFFFE),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("sll", 1, 5, 32),
+    ("srl", 0x80000000, 4, 0x08000000),
+    ("sra", 0x80000000, 4, 0xF8000000),
+    ("slt", -1 & 0xFFFFFFFF, 1, 1),
+    ("sltu", 0xFFFFFFFF, 1, 0),
+    ("mul", 7, 6, 42),
+    ("mulhu", 0xFFFFFFFF, 2, 1),
+    ("div", -7 & 0xFFFFFFFF, 2, 0xFFFFFFFD),
+    ("divu", 7, 2, 3),
+    ("rem", -7 & 0xFFFFFFFF, 2, 0xFFFFFFFF),
+    ("remu", 7, 4, 3),
+])
+def test_alu_ops(op, a, b, expected):
+    value, _ = run_and_read(f"""
+    li a1, {a}
+    li a2, {b}
+    {op} a0, a1, a2
+{store_result()}""")
+    assert value == expected
+
+
+def test_div_by_zero_riscv_semantics():
+    value, _ = run_and_read(f"""
+    li a1, 7
+    li a2, 0
+    div a0, a1, a2
+{store_result()}""")
+    assert value == 0xFFFFFFFF
+
+
+@pytest.mark.parametrize("op,a,imm,expected", [
+    ("addi", 5, -3, 2),
+    ("andi", 0xFF, 0x0F, 0x0F),
+    ("ori", 0xF0, 0x0F, 0xFF),
+    ("xori", 0xFF, 0x0F, 0xF0),
+    ("slti", 3, 9, 1),
+    ("sltiu", 3, 2, 0),
+    ("slli", 3, 4, 48),
+    ("srli", 0x100, 4, 0x10),
+    ("srai", 0x80000000, 1, 0xC0000000),
+])
+def test_alu_imm_ops(op, a, imm, expected):
+    value, _ = run_and_read(f"""
+    li a1, {a}
+    {op} a0, a1, {imm}
+{store_result()}""")
+    assert value == expected
+
+
+def test_lui_auipc():
+    value, _ = run_and_read(f"""
+    lui a0, 0x12345
+{store_result()}""")
+    assert value == 0x12345000
+
+
+def test_loads_and_stores_all_widths():
+    values, cluster = run_and_read(f"""
+    li t6, %out
+    li a0, 0x11223344
+    sw a0, 0(t6)
+    lw a1, 0(t6)
+    sw a1, 4(t6)
+    lbu a2, 1(t6)
+    sw a2, 8(t6)
+    lhu a3, 2(t6)
+    sw a3, 12(t6)
+""", out_words=4)
+    assert values == [0x11223344, 0x11223344, 0x33, 0x1122]
+
+
+def test_signed_byte_and_half_loads():
+    values, _ = run_and_read(f"""
+    li t6, %out
+    li a0, 0xFFFF8280
+    sw a0, 16(t6)
+    lb a1, 17(t6)
+    sw a1, 0(t6)
+    lh a2, 16(t6)
+    sw a2, 4(t6)
+""", out_words=2)
+    assert values[0] == 0xFFFFFF82 & 0xFFFFFFFF or values[0] == 0x82
+    # lb sign-extends 0x82 -> 0xFFFFFF82; lh sign-extends 0x8280.
+    assert values == [0xFFFFFF82, 0xFFFF8280]
+
+
+def test_branches_taken_and_not():
+    value, _ = run_and_read(f"""
+    li a0, 0
+    li a1, 3
+    li a2, 0
+loop:
+    addi a2, a2, 10
+    addi a0, a0, 1
+    blt a0, a1, loop
+    mv a0, a2
+{store_result()}""")
+    assert value == 30
+
+
+def test_bltu_unsigned_comparison():
+    value, _ = run_and_read(f"""
+    li a0, 1
+    li a1, -1          # 0xFFFFFFFF unsigned
+    li a2, 0
+    bltu a0, a1, is_less
+    j done
+is_less:
+    li a2, 1
+done:
+    mv a0, a2
+{store_result()}""")
+    assert value == 1
+
+
+def test_jal_jalr_link_and_return():
+    value, _ = run_and_read(f"""
+    li a0, 0
+    jal ra, sub
+    addi a0, a0, 100
+    j done
+sub:
+    addi a0, a0, 1
+    ret
+done:
+{store_result()}""")
+    assert value == 101
+
+
+def test_mcycle_readable_and_monotonic():
+    values, _ = run_and_read("""
+    li t6, %out
+    csrr a0, mcycle
+    sw a0, 0(t6)
+    csrr a1, mcycle
+    sw a1, 4(t6)
+""", out_words=2)
+    assert values[1] > values[0]
+
+
+def test_minstret_counts():
+    value, _ = run_and_read(f"""
+    nop
+    nop
+    csrr a0, minstret
+{store_result()}""")
+    assert value >= 2
+
+
+def test_falling_off_program_raises():
+    cluster = Cluster("nop\nnop")
+    with pytest.raises(RuntimeError, match="ebreak"):
+        cluster.run()
+
+
+def test_sim_mark_snapshots(cfg):
+    cluster = Cluster("""
+    csrrwi x0, sim_mark, 1
+    nop
+    nop
+    nop
+    csrrwi x0, sim_mark, 2
+    ebreak
+""")
+    cluster.run()
+    assert cluster.perf.region_cycles(1, 2) == 4

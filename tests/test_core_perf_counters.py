@@ -1,0 +1,90 @@
+"""Performance counter unit tests."""
+
+import pytest
+
+from repro.core.perf import PerfCounters, StallReason
+
+
+def test_bump_and_value():
+    perf = PerfCounters()
+    perf.bump("x")
+    perf.bump("x", 4)
+    assert perf.value("x") == 5
+    assert perf.value("missing") == 0
+
+
+def test_stall_accounting():
+    perf = PerfCounters()
+    perf.stall(StallReason.RAW)
+    perf.stall(StallReason.RAW)
+    perf.stall(StallReason.SSR_EMPTY)
+    breakdown = perf.stall_breakdown()
+    assert breakdown == {"raw": 2, "ssr_empty": 1}
+
+
+def test_stall_breakdown_sorted_by_count():
+    perf = PerfCounters()
+    for _ in range(3):
+        perf.stall(StallReason.WAW)
+    perf.stall(StallReason.RAW)
+    keys = list(perf.stall_breakdown())
+    assert keys == ["waw", "raw"]
+
+
+def test_marks_and_deltas():
+    perf = PerfCounters()
+    perf.cycles = 10
+    perf.bump("ops", 5)
+    perf.mark(1)
+    perf.cycles = 30
+    perf.bump("ops", 7)
+    perf.mark(2)
+    assert perf.region_cycles(1, 2) == 20
+    assert perf.delta("ops", 1, 2) == 7
+
+
+def test_utilization_whole_run_and_region():
+    perf = PerfCounters()
+    perf.cycles = 4
+    perf.bump("fpu_compute_ops", 2)
+    perf.mark(1)
+    perf.cycles = 14
+    perf.bump("fpu_compute_ops", 9)
+    perf.mark(2)
+    assert perf.fpu_utilization() == pytest.approx(11 / 14)
+    assert perf.fpu_utilization(1, 2) == pytest.approx(9 / 10)
+
+
+def test_utilization_zero_cycles():
+    perf = PerfCounters()
+    assert perf.fpu_utilization() == 0.0
+
+
+def test_marks_capture_stalls():
+    perf = PerfCounters()
+    perf.stall(StallReason.RAW)
+    perf.mark(1)
+    perf.stall(StallReason.RAW)
+    perf.stall(StallReason.RAW)
+    perf.mark(2)
+    assert perf.delta("stall_raw", 1, 2) == 2
+
+
+def test_summary_contains_key_fields():
+    perf = PerfCounters()
+    perf.cycles = 100
+    perf.bump("fpu_compute_ops", 50)
+    perf.stall(StallReason.QUEUE_EMPTY)
+    summary = perf.summary()
+    assert summary["cycles"] == 100
+    assert summary["fpu_utilization"] == 0.5
+    assert summary["stall_queue_empty"] == 1
+
+
+def test_remark_overwrites():
+    perf = PerfCounters()
+    perf.cycles = 5
+    perf.mark(1)
+    perf.cycles = 9
+    perf.mark(1)
+    assert perf.marks[1].cycle == 9

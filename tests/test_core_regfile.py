@@ -1,0 +1,99 @@
+"""Register file tests: scoreboard, chaining integration, int ready bits."""
+
+import pytest
+
+from repro.core.chaining import ChainController
+from repro.core.regfile import FpRegFile, IntRegFile
+
+
+def make_fp():
+    chain = ChainController()
+    return FpRegFile(chain), chain
+
+
+def test_int_x0_hardwired():
+    regs = IntRegFile()
+    regs.write(0, 123)
+    assert regs.read(0) == 0
+    assert regs.ready(0, 0)
+
+
+def test_int_values_wrap_32bit():
+    regs = IntRegFile()
+    regs.write(5, 1 << 33 | 7)
+    assert regs.read(5) == 7
+    regs.write(6, -1)
+    assert regs.read(6) == 0xFFFFFFFF
+    assert regs.read_signed(6) == -1
+
+
+def test_int_ready_cycles():
+    regs = IntRegFile()
+    regs.write(4, 9, ready_cycle=10)
+    assert not regs.ready(4, 9)
+    assert regs.ready(4, 10)
+    regs.set_ready(4, 20)
+    assert not regs.ready(4, 15)
+
+
+def test_fp_plain_scoreboard():
+    regs, _ = make_fp()
+    assert regs.can_read(4) and regs.can_write(4)
+    regs.allocate(4)
+    assert not regs.can_read(4)
+    assert not regs.can_write(4)    # WAW blocked
+    assert regs.try_writeback(4, 2.5)
+    assert regs.can_read(4)
+    assert regs.read(4) == 2.5
+
+
+def test_fp_chaining_read_pops():
+    regs, chain = make_fp()
+    chain.write_mask(1 << 3)
+    assert not regs.can_read(3)     # FIFO empty
+    assert regs.try_writeback(3, 1.25)
+    assert regs.can_read(3)
+    assert regs.read(3) == 1.25
+    assert not regs.can_read(3)     # popped
+
+
+def test_fp_chaining_write_never_waw_blocked_at_issue():
+    regs, chain = make_fp()
+    chain.write_mask(1 << 3)
+    regs.allocate(3)                # no-op for chaining regs
+    assert regs.can_write(3)
+
+
+def test_fp_chaining_backpressure_at_writeback():
+    regs, chain = make_fp()
+    chain.write_mask(1 << 3)
+    chain.begin_cycle()
+    assert regs.try_writeback(3, 1.0)
+    assert not regs.try_writeback(3, 2.0)   # refused: valid still set
+    assert chain.backpressure_events == 1
+    assert regs.read(3) == 1.0              # original value preserved
+
+
+def test_fp_pop_empty_chaining_raises():
+    regs, chain = make_fp()
+    chain.write_mask(1 << 3)
+    with pytest.raises(RuntimeError, match="empty chaining"):
+        regs.read(3)
+
+
+def test_fp_fifo_order_through_reg():
+    regs, chain = make_fp()
+    chain.write_mask(1 << 3)
+    chain.begin_cycle()
+    assert regs.try_writeback(3, 1.0)
+    assert regs.read(3) == 1.0
+    assert regs.try_writeback(3, 2.0)
+    assert regs.read(3) == 2.0
+
+
+def test_poke_bypasses_semantics():
+    regs, chain = make_fp()
+    chain.write_mask(1 << 3)
+    regs.poke(3, 7.0)
+    assert regs.values[3] == 7.0
+    assert not chain.can_pop(3)   # poke does not set valid

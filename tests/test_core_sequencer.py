@@ -1,0 +1,128 @@
+"""FP queue and FREP sequencer tests."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.sequencer import DispatchedEntry, Sequencer
+from repro.isa.encoding import pack_frep
+from repro.isa.instructions import Instr
+
+
+def entry(mn="fadd.d", rd=3, rs1=0, rs2=1, **vals):
+    return DispatchedEntry(Instr(mn, rd=rd, rs1=rs1, rs2=rs2), vals)
+
+
+def frep_entry(reps, max_inst, stagger_max=0, stagger_mask=0, inner=False):
+    mn = "frep.i" if inner else "frep.o"
+    instr = Instr(mn, rs1=5,
+                  imm=pack_frep(max_inst, stagger_max, stagger_mask))
+    return DispatchedEntry(instr, {"rs1": reps})
+
+
+def drain(seq, limit=200):
+    out = []
+    while limit:
+        e = seq.peek()
+        if e is None:
+            break
+        out.append(e.instr)
+        seq.advance()
+        limit -= 1
+    return out
+
+
+def test_plain_fifo_order():
+    seq = Sequencer(CoreConfig())
+    seq.dispatch(entry(rd=3))
+    seq.dispatch(entry(rd=4))
+    issued = drain(seq)
+    assert [i.rd for i in issued] == [3, 4]
+    assert seq.idle
+
+
+def test_queue_space_accounting():
+    cfg = CoreConfig(fp_queue_depth=2)
+    seq = Sequencer(cfg)
+    assert seq.space() == 2
+    seq.dispatch(entry())
+    assert seq.space() == 1
+    seq.dispatch(entry())
+    with pytest.raises(RuntimeError, match="overflow"):
+        seq.dispatch(entry())
+
+
+def test_frep_outer_replays_block():
+    seq = Sequencer(CoreConfig())
+    seq.begin_frep(frep_entry(reps=2, max_inst=1))   # 2-instr body, 3 iters
+    seq.dispatch(entry(rd=3))
+    seq.dispatch(entry(rd=4))
+    issued = drain(seq)
+    assert [i.rd for i in issued] == [3, 4, 3, 4, 3, 4]
+    assert seq.replayed_instrs == 4
+    assert seq.idle
+
+
+def test_frep_inner_repeats_each_instr():
+    seq = Sequencer(CoreConfig())
+    seq.begin_frep(frep_entry(reps=2, max_inst=1, inner=True))
+    seq.dispatch(entry(rd=3))
+    seq.dispatch(entry(rd=4))
+    issued = drain(seq)
+    assert [i.rd for i in issued] == [3, 3, 3, 4, 4, 4]
+
+
+def test_frep_waits_for_body_dispatch():
+    seq = Sequencer(CoreConfig())
+    seq.begin_frep(frep_entry(reps=1, max_inst=1))
+    assert seq.peek() is None          # body not dispatched yet
+    seq.dispatch(entry(rd=3))
+    assert seq.peek().instr.rd == 3
+    seq.advance()
+    assert seq.peek() is None          # second body instr still missing
+    seq.dispatch(entry(rd=4))
+    assert [i.rd for i in drain(seq)] == [4, 3, 4]
+
+
+def test_frep_stagger_rotates_registers():
+    seq = Sequencer(CoreConfig())
+    # stagger rd and rs3 across 2 values (stagger_max=1, mask=0b1001).
+    seq.begin_frep(frep_entry(reps=3, max_inst=0, stagger_max=1,
+                              stagger_mask=0b0001))
+    seq.dispatch(entry(rd=8))
+    issued = drain(seq)
+    assert [i.rd for i in issued] == [8, 9, 8, 9]
+
+
+def test_frep_stagger_skips_integer_fields():
+    seq = Sequencer(CoreConfig())
+    seq.begin_frep(frep_entry(reps=1, max_inst=0, stagger_max=1,
+                              stagger_mask=0b0010))
+    # fld rs1 is an integer register: never staggered.
+    instr = Instr("fld", rd=8, rs1=10, imm=0)
+    seq.dispatch(DispatchedEntry(instr, {"addr": 0}))
+    issued = drain(seq)
+    assert [i.rs1 for i in issued] == [10, 10]
+
+
+def test_nested_frep_rejected():
+    seq = Sequencer(CoreConfig())
+    seq.begin_frep(frep_entry(reps=1, max_inst=0))
+    with pytest.raises(RuntimeError, match="nested"):
+        seq.begin_frep(frep_entry(reps=1, max_inst=0))
+
+
+def test_frep_body_exceeding_buffer_rejected():
+    cfg = CoreConfig(frep_buffer_depth=4)
+    seq = Sequencer(cfg)
+    with pytest.raises(RuntimeError, match="exceeds sequencer buffer"):
+        seq.begin_frep(frep_entry(reps=1, max_inst=7))
+
+
+def test_idle_tracks_frep():
+    seq = Sequencer(CoreConfig())
+    assert seq.idle
+    seq.begin_frep(frep_entry(reps=0, max_inst=0))
+    assert not seq.idle
+    seq.dispatch(entry())
+    drain(seq)
+    assert seq.idle

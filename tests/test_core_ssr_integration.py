@@ -1,0 +1,207 @@
+"""SSR integration through the full cluster: the Fig. 1 vector operation
+and stream-register corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster, CoreConfig
+from repro.core.perf import StallReason
+from repro.kernels.ssrgen import SsrPatternAsm
+
+A, B, C, D = 0x8000, 0x9000, 0xA000, 0xB000
+
+
+def vecop_streams(n):
+    return "\n".join(
+        SsrPatternAsm(ssr=i, base=base, bounds=[n], strides=[8],
+                      write=(i == 2)).emit()
+        for i, base in enumerate((C, D, A))
+    )
+
+
+def make_vecop(n=32, body=None, extra_setup=""):
+    body = body or """
+    fadd.d ft3, ft0, ft1
+    fmul.d ft2, ft3, fa0
+"""
+    prog = f"""
+    li a0, {B}
+    fld fa0, 0(a0)
+{vecop_streams(n)}
+{extra_setup}
+    csrrsi x0, ssr_enable, 1
+    li t3, 0
+    li t4, {n}
+loop:
+{body}
+    addi t3, t3, 1
+    bne t3, t4, loop
+    csrrci x0, ssr_enable, 1
+    ebreak
+"""
+    cluster = Cluster(prog)
+    rng = np.random.default_rng(3)
+    c, d = rng.random(n), rng.random(n)
+    cluster.load_f64(C, c)
+    cluster.load_f64(D, d)
+    cluster.mem.write_f64(B, 2.5)
+    return cluster, c, d
+
+
+def test_vecop_baseline_matches_golden():
+    n = 32
+    cluster, c, d = make_vecop(n)
+    cluster.run()
+    out = cluster.read_f64(A, (n,))
+    assert np.array_equal(out, (c + d) * 2.5)
+
+
+def test_vecop_ssr_read_counts():
+    n = 16
+    cluster, _, _ = make_vecop(n)
+    cluster.run()
+    stats = cluster.tcdm.stats()
+    assert stats["ssr0_reads"] == n
+    assert stats["ssr1_reads"] == n
+    assert stats["ssr2_writes"] == n
+
+
+def test_chaining_vecop_matches_golden():
+    n = 32
+    body = "\n".join(["    fadd.d ft3, ft0, ft1"] * 4
+                     + ["    fmul.d ft2, ft3, fa0"] * 4)
+    prog = f"""
+    li a0, {B}
+    fld fa0, 0(a0)
+{vecop_streams(n)}
+    csrrwi x0, chain_mask, 8
+    csrrsi x0, ssr_enable, 1
+    li t3, 0
+    li t4, {n // 4}
+loop:
+{body}
+    addi t3, t3, 1
+    bne t3, t4, loop
+    csrrci x0, ssr_enable, 1
+    ebreak
+"""
+    cluster = Cluster(prog)
+    rng = np.random.default_rng(3)
+    c, d = rng.random(n), rng.random(n)
+    cluster.load_f64(C, c)
+    cluster.load_f64(D, d)
+    cluster.mem.write_f64(B, 2.5)
+    cluster.run()
+    assert np.array_equal(cluster.read_f64(A, (n,)), (c + d) * 2.5)
+
+
+def test_ssr_empty_stalls_are_counted():
+    # An instruction consuming two elements per cycle from one stream
+    # outruns the 1 element/cycle data mover: SSR_EMPTY stalls pile up.
+    n = 8
+    prog = f"""
+{SsrPatternAsm(ssr=0, base=C, bounds=[2 * n], strides=[8]).emit()}
+{SsrPatternAsm(ssr=2, base=A, bounds=[n], strides=[8], write=True).emit()}
+    csrrsi x0, ssr_enable, 1
+    li t3, {n - 1}
+    frep.o t3, 0
+    fmul.d ft2, ft0, ft0
+    csrrci x0, ssr_enable, 1
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.load_f64(C, np.ones(2 * n))
+    cluster.run()
+    assert cluster.perf.stalls.get(StallReason.SSR_EMPTY, 0) >= n // 2
+
+
+def test_double_read_of_one_stream_pops_twice():
+    n = 8
+    prog = f"""
+{SsrPatternAsm(ssr=0, base=C, bounds=[2 * n], strides=[8]).emit()}
+{SsrPatternAsm(ssr=2, base=A, bounds=[n], strides=[8], write=True).emit()}
+    csrrsi x0, ssr_enable, 1
+    li t3, 0
+    li t4, {n}
+loop:
+    fmul.d ft2, ft0, ft0
+    addi t3, t3, 1
+    bne t3, t4, loop
+    csrrci x0, ssr_enable, 1
+    ebreak
+"""
+    cluster = Cluster(prog)
+    data = np.arange(2 * n, dtype=np.float64) + 1
+    cluster.load_f64(C, data)
+    cluster.run()
+    out = cluster.read_f64(A, (n,))
+    expected = data[0::2] * data[1::2]
+    assert np.array_equal(out, expected)
+
+
+def test_write_stream_underproduction_detected():
+    from repro.core.cluster import SimulationDeadlock
+
+    prog = f"""
+{SsrPatternAsm(ssr=2, base=A, bounds=[4], strides=[8], write=True).emit()}
+    csrrsi x0, ssr_enable, 1
+    li a0, {B}
+    fld fa0, 0(a0)
+    fmul.d ft2, fa0, fa0
+    csrrci x0, ssr_enable, 1
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.mem.write_f64(B, 1.0)
+    with pytest.raises(SimulationDeadlock):
+        cluster.run()
+
+
+def test_fld_into_stream_register_rejected():
+    prog = f"""
+{SsrPatternAsm(ssr=0, base=C, bounds=[1], strides=[8]).emit()}
+    csrrsi x0, ssr_enable, 1
+    li a0, {C}
+    fld ft0, 0(a0)
+    ebreak
+"""
+    cluster = Cluster(prog)
+    with pytest.raises(RuntimeError, match="stream register"):
+        cluster.run()
+
+
+def test_ssr_disabled_registers_behave_plainly():
+    # Without ssr_enable, ft0-ft2 are ordinary registers.
+    prog = f"""
+    li a0, {C}
+    fld ft0, 0(a0)
+    fadd.d ft1, ft0, ft0
+    fsd ft1, 8(a0)
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.mem.write_f64(C, 3.0)
+    cluster.run()
+    assert cluster.mem.read_f64(C + 8) == 6.0
+
+
+def test_scfgr_reads_back_configuration():
+    prog = f"""
+    li t0, 1234
+    li t1, 14        # ssr0 BASE field
+    scfgw t0, t1
+    scfgr a0, t1
+    li a1, {A}
+    sw a0, 0(a1)
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.run()
+    assert cluster.mem.read_u32(A) == 1234
+
+
+def test_stream_longer_than_fifo_flows():
+    n = 64
+    cluster, c, d = make_vecop(n)
+    cluster.run()
+    assert np.array_equal(cluster.read_f64(A, (n,)), (c + d) * 2.5)

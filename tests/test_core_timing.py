@@ -1,0 +1,283 @@
+"""Cycle-accuracy tests of the hazard and latency model.
+
+These pin down the timing semantics the paper's analysis relies on:
+a RAW-dependent FP instruction issues ``latency + 1`` cycles after its
+producer ("three wasted cycles" on the 3-stage Snitch FMA pipe), WAW
+stalls on plain registers, chaining's elision of both, and the FIFO
+backpressure bubble.
+"""
+
+import pytest
+
+from repro.core import Cluster, CoreConfig
+from repro.core.perf import StallReason
+from repro.trace import TraceRecorder
+
+
+def run_traced(body: str, cfg: CoreConfig | None = None,
+               prelude: str = "") -> tuple[Cluster, TraceRecorder]:
+    trace = TraceRecorder()
+    prog = f"{prelude}\n{body}\n    ebreak\n"
+    cluster = Cluster(prog, cfg=cfg, trace=trace)
+    cluster.mem.write_f64(0x2000, 2.0)    # -> ft4 via the prelude
+    cluster.mem.write_f64(0x2008, 0.5)    # -> ft5
+    cluster.run()
+    return cluster, trace
+
+
+def fp_issue_cycles(trace: TraceRecorder, mnemonic: str) -> list[int]:
+    return [e.cycle for e in trace.fp_events if e.text.startswith(mnemonic)]
+
+
+LOAD_F0_F1 = """
+    li a0, 0x2000
+    fld ft4, 0(a0)
+    fld ft5, 8(a0)
+"""
+
+
+def test_raw_dependency_costs_pipeline_latency():
+    # Paper Fig. 1a: fmul stalls 3 cycles behind the fadd it depends on.
+    cluster, trace = run_traced("""
+    fadd.d ft3, ft4, ft5
+    fmul.d ft6, ft3, ft4
+""", prelude=LOAD_F0_F1)
+    fadd = fp_issue_cycles(trace, "fadd.d")[0]
+    fmul = fp_issue_cycles(trace, "fmul.d")[0]
+    assert fmul - fadd == 4      # latency 3 + 1 = 3 wasted issue slots
+    assert cluster.perf.stalls[StallReason.RAW] >= 3
+
+
+def test_raw_gap_scales_with_configured_latency():
+    from repro.isa.instructions import InstrClass
+
+    cfg = CoreConfig()
+    cfg.fpu_latency = dict(cfg.fpu_latency)
+    cfg.fpu_latency[InstrClass.FP_ADD] = 5
+    cfg.fpu_pipe_depth = 5
+    cluster, trace = run_traced("""
+    fadd.d ft3, ft4, ft5
+    fmul.d ft6, ft3, ft4
+""", cfg=cfg, prelude=LOAD_F0_F1)
+    fadd = fp_issue_cycles(trace, "fadd.d")[0]
+    fmul = fp_issue_cycles(trace, "fmul.d")[0]
+    assert fmul - fadd == 6
+
+
+def test_independent_ops_issue_back_to_back():
+    cluster, trace = run_traced("""
+    fadd.d ft3, ft4, ft5
+    fadd.d ft6, ft4, ft5
+    fadd.d ft7, ft4, ft5
+""", prelude=LOAD_F0_F1)
+    cycles = fp_issue_cycles(trace, "fadd.d")
+    assert cycles[1] - cycles[0] == 1
+    assert cycles[2] - cycles[1] == 1
+
+
+def test_waw_stalls_on_plain_register():
+    cluster, trace = run_traced("""
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft5, ft5
+""", prelude=LOAD_F0_F1)
+    cycles = fp_issue_cycles(trace, "fadd.d")
+    assert cycles[1] - cycles[0] == 4    # WAW: wait for writeback
+    assert cluster.perf.stalls[StallReason.WAW] == 3
+
+
+def test_chaining_elides_waw():
+    cluster, trace = run_traced("""
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft5, ft5
+    fadd.d ft3, ft4, ft4
+    fmul.d ft6, ft3, ft4
+    fmul.d ft7, ft3, ft4
+    fmul.d ft8, ft3, ft4
+    csrrwi x0, chain_mask, 0
+""", prelude=LOAD_F0_F1)
+    adds = fp_issue_cycles(trace, "fadd.d")
+    assert adds[1] - adds[0] == 1       # no WAW between chained writes
+    assert adds[2] - adds[1] == 1
+    assert cluster.perf.stalls[StallReason.WAW] == 0
+
+
+def test_chaining_pop_order_is_fifo():
+    cluster, trace = run_traced("""
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fsub.d ft3, ft4, ft5
+    fmul.d ft6, ft3, ft4
+    fmul.d ft7, ft3, ft4
+    csrrwi x0, chain_mask, 0
+""", prelude=LOAD_F0_F1)
+    # ft4=2.0, ft5=0.5: pushes 2.5 then 1.5, popped in order.
+    assert cluster.fp.fpregs.values[6] == 2.5 * 2.0
+    assert cluster.fp.fpregs.values[7] == 1.5 * 2.0
+
+
+def test_chaining_double_read_pops_once():
+    # One instruction naming the chaining register twice sees the same
+    # value in both positions and consumes a single FIFO element.
+    cluster, trace = run_traced("""
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fmul.d ft6, ft3, ft3
+    csrrwi x0, chain_mask, 0
+""", prelude=LOAD_F0_F1)
+    assert cluster.fp.fpregs.values[6] == 2.5 * 2.5
+    assert cluster.fp.chain.pops == 1
+
+
+def test_chain_empty_pop_stalls_until_writeback():
+    cluster, trace = run_traced("""
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fmul.d ft6, ft3, ft4
+    csrrwi x0, chain_mask, 0
+""", prelude=LOAD_F0_F1)
+    fadd = fp_issue_cycles(trace, "fadd.d")[0]
+    fmul = fp_issue_cycles(trace, "fmul.d")[0]
+    assert fmul - fadd == 4
+    assert cluster.perf.stalls[StallReason.CHAIN_EMPTY] == 3
+
+
+# fa0..fa3 are f10..f13: contiguous and outside the accumulator range.
+BALANCED_CHAIN = """
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fmul.d fa0, ft3, ft4
+    fmul.d fa1, ft3, ft4
+    fmul.d fa2, ft3, ft4
+    fmul.d fa3, ft3, ft4
+    csrrwi x0, chain_mask, 0
+"""
+
+
+def test_balanced_chain_fills_capacity_and_loses_nothing():
+    # Four producers exactly fill pipe + architectural register; four
+    # consumers drain them in order.  Nothing is overwritten.
+    cluster, trace = run_traced(BALANCED_CHAIN, prelude=LOAD_F0_F1)
+    values = [cluster.fp.fpregs.values[i] for i in range(10, 14)]
+    assert values == [2.5 * 2.0] * 4
+    adds = fp_issue_cycles(trace, "fadd.d")
+    assert adds[3] - adds[0] == 3       # producers back to back
+
+
+def test_conservative_mode_cannot_sustain_full_unroll():
+    # Without same-cycle pop+push, a producer group of depth+1 deadlocks:
+    # the head writeback waits for a pop that only the (pipe-blocked)
+    # consumer could perform.  The concurrent FIFO is therefore a
+    # *requirement* of the paper's unroll-by-(depth+1) schedule, not an
+    # optimization.
+    from repro.core.cluster import SimulationDeadlock
+
+    cfg = CoreConfig(chain_concurrent_push_pop=False)
+    cluster = Cluster(LOAD_F0_F1 + BALANCED_CHAIN + "\n    ebreak\n",
+                      cfg=cfg)
+    cluster.mem.write_f64(0x2000, 2.0)
+    cluster.mem.write_f64(0x2008, 0.5)
+    with pytest.raises(SimulationDeadlock):
+        cluster.run()
+
+
+def test_conservative_mode_works_at_reduced_unroll():
+    # With only `depth` producers in flight the conservative FIFO works,
+    # at the cost of backpressure bubbles on wrap-around.
+    cfg = CoreConfig(chain_concurrent_push_pop=False)
+    cluster, trace = run_traced("""
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fmul.d fa0, ft3, ft4
+    fmul.d fa1, ft3, ft4
+    fmul.d fa2, ft3, ft4
+    csrrwi x0, chain_mask, 0
+""", cfg=cfg, prelude=LOAD_F0_F1)
+    values = [cluster.fp.fpregs.values[i] for i in range(10, 13)]
+    assert values == [2.5 * 2.0] * 3
+    assert cluster.fp.chain.backpressure_events > 0
+
+
+def test_oversubscribed_producers_deadlock_not_overwrite():
+    # Five outstanding pushes exceed the logical FIFO (pipe depth 3 + 1
+    # register).  The backpressure mechanism refuses the overflowing
+    # writeback; with in-order issue the program cannot make progress --
+    # the simulator reports the deadlock instead of losing a value.
+    from repro.core.cluster import SimulationDeadlock
+
+    prog = LOAD_F0_F1 + """
+    csrrwi x0, chain_mask, 8
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fadd.d ft3, ft4, ft5
+    fmul.d ft6, ft3, ft4
+    ebreak
+"""
+    cluster = Cluster(prog)
+    with pytest.raises(SimulationDeadlock):
+        cluster.run()
+    assert cluster.fp.chain.backpressure_events > 0
+
+
+def test_store_buffer_not_modelled_fp_stores_pipeline():
+    # Consecutive fsd issue once per cycle through the FP LSU.
+    cluster, trace = run_traced("""
+    li a1, 0x3000
+    fsd ft4, 0(a1)
+    fsd ft5, 8(a1)
+    fsd ft4, 16(a1)
+""", prelude=LOAD_F0_F1)
+    stores = fp_issue_cycles(trace, "fsd")
+    assert stores[1] - stores[0] <= 2
+    assert stores[2] - stores[1] <= 2
+
+
+def test_branch_penalty():
+    cfg = CoreConfig(branch_penalty=3)
+    cluster_slow = Cluster("""
+    li a0, 0
+    li a1, 8
+loop:
+    addi a0, a0, 1
+    bne a0, a1, loop
+    ebreak
+""", cfg=cfg)
+    cluster_slow.run()
+    cfg_fast = CoreConfig(branch_penalty=0)
+    cluster_fast = Cluster("""
+    li a0, 0
+    li a1, 8
+loop:
+    addi a0, a0, 1
+    bne a0, a1, loop
+    ebreak
+""", cfg=cfg_fast)
+    cluster_fast.run()
+    # 7 taken branches, 3 extra cycles each.
+    assert cluster_slow.cycle - cluster_fast.cycle == 21
+
+
+def test_load_use_stall():
+    cluster = Cluster("""
+    li a0, 0x2000
+    lw a1, 0(a0)
+    add a2, a1, a1     # immediate use: must stall
+    ebreak
+""")
+    cluster.run()
+    assert cluster.perf.value("int_hazard_stalls") >= 1
+
+
+def test_dispatch_stall_on_full_queue():
+    cfg = CoreConfig(fp_queue_depth=2)
+    body = "\n".join(["    fadd.d ft3, ft4, ft5",
+                      "    fadd.d ft6, ft4, ft5"] * 6)
+    cluster, _ = run_traced(body, cfg=cfg, prelude=LOAD_F0_F1)
+    assert cluster.perf.value("int_dispatch_stalls") > 0

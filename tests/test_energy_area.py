@@ -1,0 +1,34 @@
+"""Area model tests: the <2% overhead claim."""
+
+from repro.energy.area import AreaModel
+
+
+def test_overhead_under_paper_bound():
+    model = AreaModel()
+    # The paper reports <2% cell-area increase.
+    assert model.overhead_core_percent < 2.0
+    assert model.overhead_cluster_percent < model.overhead_core_percent
+
+
+def test_chaining_parts_itemized():
+    model = AreaModel()
+    assert model.chaining_kge == sum(model.chaining_parts_kge.values())
+    assert set(model.chaining_parts_kge) == {
+        "chain_mask_csr", "valid_bits_and_control",
+        "writeback_backpressure", "issue_rule_changes",
+    }
+
+
+def test_breakdown_complete():
+    model = AreaModel()
+    breakdown = model.breakdown()
+    assert "fpu" in breakdown
+    assert "chaining_extension" in breakdown
+    assert breakdown["chaining_extension"] == model.chaining_kge
+
+
+def test_core_complex_dominated_by_fpu():
+    # Sanity of the figures: on Snitch-class cores the FPU is the
+    # largest logic block.
+    model = AreaModel()
+    assert model.components_kge["fpu"] == max(model.components_kge.values())

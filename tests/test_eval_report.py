@@ -1,0 +1,53 @@
+"""Report helper tests."""
+
+import math
+
+import pytest
+
+from repro.eval.report import format_table, geomean, percent_delta
+
+
+def test_geomean_basic():
+    assert geomean([4.0, 1.0]) == pytest.approx(2.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geomean_matches_definition():
+    values = [1.04, 1.08]
+    assert geomean(values) == pytest.approx(
+        math.exp((math.log(1.04) + math.log(1.08)) / 2))
+
+
+def test_geomean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([-1.0])
+
+
+def test_percent_delta():
+    assert percent_delta(1.04, 1.0) == pytest.approx(4.0)
+    assert percent_delta(0.9, 1.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        percent_delta(1.0, 0.0)
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"],
+                         [["a", 1.5], ["longer", 10.25]],
+                         title="demo")
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    # Columns align: every row has the separator at the same position.
+    sep_pos = lines[1].index("|")
+    assert all(line.index("|") == sep_pos for line in lines[3:])
+
+
+def test_format_table_float_formatting():
+    table = format_table(["x"], [[0.123456], [1234.5678]])
+    assert "0.123" in table
+    assert "1234.6" in table

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs and reports success.
+
+The two heaviest sweeps (stencil_evaluation, pipeline_depth_sweep) are
+exercised indirectly by the benchmarks; here they only need to import.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "dataflow_trace",
+    "custom_stencil",
+    "dma_double_buffering",
+    "linalg_reductions",
+    "multicore_stencil",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+    assert "NO" not in out.split()     # correctness column never 'NO'
+
+
+@pytest.mark.parametrize("name", [
+    "stencil_evaluation",
+    "pipeline_depth_sweep",
+])
+def test_heavy_examples_importable(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_quickstart_shows_the_papers_story(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "baseline" in out and "chaining" in out
+    # Chaining row reports a single accumulator.
+    chaining_line = next(line for line in out.splitlines()
+                         if line.startswith("chaining"))
+    assert " 1 " in chaining_line

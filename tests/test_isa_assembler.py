@@ -1,0 +1,172 @@
+"""Assembler tests: syntax, labels, pseudo-instructions, symbols."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.disassembler import format_instr
+
+
+def test_empty_and_comments():
+    prog = assemble("""
+        # comment only
+        // another
+
+        addi a0, a0, 1   # trailing
+    """)
+    assert len(prog) == 1
+    assert prog.instrs[0].mnemonic == "addi"
+
+
+def test_labels_forward_and_backward():
+    prog = assemble("""
+    start:
+        addi a0, a0, 1
+        beq a0, a1, end
+        jal x0, start
+    end:
+        ebreak
+    """)
+    assert prog.labels == {"start": 0, "end": 12}
+    assert prog.instrs[1].imm == 8      # forward to end
+    assert prog.instrs[2].imm == -8     # backward to start
+
+
+def test_label_on_same_line():
+    prog = assemble("loop: addi a0, a0, 1\nbne a0, a1, loop")
+    assert prog.labels["loop"] == 0
+    assert prog.instrs[1].imm == -4
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a:\na:\nebreak")
+
+
+def test_numeric_branch_targets():
+    # The paper's listings use raw byte offsets.
+    prog = assemble("bne a0, a1, -12")
+    assert prog.instrs[0].imm == -12
+
+
+def test_symbol_substitution_both_styles():
+    prog = assemble("""
+        li a0, %base
+        addi a1, a1, %[off]
+    """, symbols={"base": 0x2000, "off": 24})
+    assert prog.instrs[0].imm == 0x2000 or prog.instrs[0].mnemonic == "lui"
+    assert prog.instrs[-1].imm == 24
+
+
+def test_undefined_symbol_raises():
+    with pytest.raises(AssemblerError, match="undefined symbol"):
+        assemble("li a0, %nope")
+
+
+def test_li_small_is_addi():
+    prog = assemble("li a0, 42")
+    assert [i.mnemonic for i in prog.instrs] == ["addi"]
+
+
+def test_li_large_is_lui_addi():
+    prog = assemble("li a0, 0x12345")
+    assert [i.mnemonic for i in prog.instrs] == ["lui", "addi"]
+
+
+def test_li_aligned_is_lui_only():
+    prog = assemble("li a0, 0x12000")
+    assert [i.mnemonic for i in prog.instrs] == ["lui"]
+
+
+def test_li_negative():
+    prog = assemble("li a0, -70000")
+    # Semantics checked in the core tests; here just shape.
+    assert [i.mnemonic for i in prog.instrs] == ["lui", "addi"]
+
+
+def test_li_unsigned_32bit():
+    prog = assemble("li a0, 0xFFFFFFFF")
+    assert prog.instrs[0].mnemonic == "addi"
+    assert prog.instrs[0].imm == -1
+
+
+def test_li_out_of_range():
+    with pytest.raises(AssemblerError, match="does not fit"):
+        assemble("li a0, 0x100000000")
+
+
+@pytest.mark.parametrize("pseudo,expansion", [
+    ("nop", "addi zero, zero, 0"),
+    ("mv a0, a1", "addi a0, a1, 0"),
+    ("j 8", "jal zero, 8"),
+    ("ret", "jalr zero, ra, 0"),
+    ("beqz a0, 8", "beq a0, zero, 8"),
+    ("bnez a0, -4", "bne a0, zero, -4"),
+    ("fmv.d ft1, ft2", "fsgnj.d ft1, ft2, ft2"),
+    ("fneg.d ft1, ft2", "fsgnjn.d ft1, ft2, ft2"),
+    ("fabs.d ft1, ft2", "fsgnjx.d ft1, ft2, ft2"),
+    ("csrr t0, mcycle", "csrrs t0, mcycle, zero"),
+    ("csrw mcycle, t0", "csrrw zero, mcycle, t0"),
+    ("csrs 0x7C3, t0", "csrrs zero, chain_mask, t0"),
+    ("csrc 0x7C3, t0", "csrrc zero, chain_mask, t0"),
+])
+def test_pseudo_expansion(pseudo, expansion):
+    prog = assemble(pseudo)
+    assert format_instr(prog.instrs[0]) == expansion
+
+
+def test_bgt_ble_swap_operands():
+    prog = assemble("bgt a0, a1, 8\nble a0, a1, 8")
+    assert format_instr(prog.instrs[0]) == "blt a1, a0, 8"
+    assert format_instr(prog.instrs[1]) == "bge a1, a0, 8"
+
+
+def test_csr_symbolic_names():
+    prog = assemble("csrrwi x0, chain_mask, 8")
+    assert prog.instrs[0].csr == 0x7C3
+    prog = assemble("csrrsi x0, ssr_enable, 1")
+    assert prog.instrs[0].csr == 0x7C0
+
+
+def test_memory_operands():
+    prog = assemble("fld ft0, -24(a1)\nfsd ft1, 0(sp)")
+    assert prog.instrs[0].imm == -24
+    assert prog.instrs[1].rs2 == 1
+
+
+def test_bad_operand_count():
+    with pytest.raises(AssemblerError, match="expects"):
+        assemble("add a0, a1")
+
+
+def test_bad_register_name():
+    with pytest.raises(AssemblerError, match="unknown"):
+        assemble("add a0, a1, ft3")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError, match="imm\\(reg\\)"):
+        assemble("lw a0, a1")
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("fma.d ft0, ft1, ft2")
+
+
+def test_addresses_assigned():
+    prog = assemble("nop\nnop\nebreak", base=0x100)
+    assert [i.addr for i in prog.instrs] == [0x100, 0x104, 0x108]
+    assert prog.at(0x104).mnemonic == "addi"
+
+
+def test_frep_two_and_four_operand_forms():
+    prog = assemble("frep.o t0, 3\nfrep.i t1, 2, 1, 5")
+    assert prog.instrs[0].mnemonic == "frep.o"
+    assert prog.instrs[1].mnemonic == "frep.i"
+
+
+def test_encode_words():
+    prog = assemble("addi a0, a0, 1\nebreak")
+    words = prog.encode_words()
+    assert len(words) == 2
+    assert all(isinstance(w, int) for w in words)

@@ -1,0 +1,29 @@
+"""CSR map tests."""
+
+from repro.isa.csr import CSR, FP_SUBSYSTEM_CSRS, csr_name, is_fp_csr
+
+
+def test_paper_addresses():
+    # The paper fixes the chaining mask CSR at 0x7C3 (section II).
+    assert CSR.CHAIN_MASK == 0x7C3
+    assert CSR.SSR_ENABLE == 0x7C0
+
+
+def test_fp_csr_classification():
+    assert is_fp_csr(CSR.CHAIN_MASK)
+    assert is_fp_csr(CSR.SSR_ENABLE)
+    assert is_fp_csr(CSR.FFLAGS)
+    assert not is_fp_csr(CSR.MCYCLE)
+    assert not is_fp_csr(CSR.SIM_MARK)
+    assert not is_fp_csr(0x123)
+
+
+def test_fp_subsystem_set_contents():
+    assert CSR.CHAIN_MASK in FP_SUBSYSTEM_CSRS
+    assert CSR.MCYCLE not in FP_SUBSYSTEM_CSRS
+
+
+def test_csr_names():
+    assert csr_name(0x7C3) == "chain_mask"
+    assert csr_name(0xB00) == "mcycle"
+    assert csr_name(0x3FF) == "csr_0x3ff"

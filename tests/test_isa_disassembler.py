@@ -1,0 +1,67 @@
+"""Disassembler round-trip tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_program, \
+    format_instr
+from repro.isa.encoding import encode
+
+SAMPLE = """
+    addi a0, zero, 5
+    lui t0, 16
+    add a1, a0, a0
+    lw a2, 8(sp)
+    sw a2, -4(sp)
+    bne a0, a1, -8
+    jal ra, 16
+    jalr zero, ra, 0
+    csrrs t0, mcycle, zero
+    csrrwi zero, chain_mask, 8
+    fld ft3, 0(a0)
+    fsd ft3, 8(a0)
+    fadd.d ft3, ft0, ft1
+    fmadd.d ft3, ft0, ft4, ft3
+    fsqrt.d ft5, ft6
+    feq.d a0, ft1, ft2
+    fcvt.d.w ft1, a0
+    fcvt.w.d a0, ft1
+    frep.o t1, 7
+    frep.i t1, 3, 2, 5
+    scfgw t0, t1
+    scfgr t2, t0
+    ecall
+    ebreak
+"""
+
+
+def test_text_assemble_disassemble_reassemble():
+    prog1 = assemble(SAMPLE)
+    text = "\n".join(format_instr(i) for i in prog1.instrs)
+    prog2 = assemble(text)
+    assert prog1.encode_words() == prog2.encode_words()
+
+
+def test_disassemble_from_word():
+    prog = assemble("fadd.d ft3, ft0, ft1")
+    word = encode(prog.instrs[0])
+    assert disassemble(word) == "fadd.d ft3, ft0, ft1"
+
+
+def test_disassemble_program():
+    words = assemble("addi a0, a0, 1\nebreak").encode_words()
+    assert disassemble_program(words) == "addi a0, a0, 1\nebreak"
+
+
+@pytest.mark.parametrize("line", [
+    "fsgnj.d ft1, ft2, ft3",
+    "fmin.d ft1, ft2, ft3",
+    "flt.d a0, ft1, ft2",
+    "srai a0, a1, 3",
+    "sltiu a0, a1, 9",
+    "auipc t0, 4",
+])
+def test_individual_roundtrips(line):
+    prog = assemble(line)
+    word = encode(prog.instrs[0])
+    assert disassemble(word) == line

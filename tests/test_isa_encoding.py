@@ -1,0 +1,151 @@
+"""Binary encode/decode tests, including known golden encodings."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    DecodeError,
+    EncodingError,
+    decode,
+    encode,
+    pack_frep,
+    unpack_frep,
+)
+from repro.isa.instructions import Instr
+
+
+def _enc(text: str) -> int:
+    prog = assemble(text)
+    assert len(prog) == 1
+    return encode(prog.instrs[0])
+
+
+# Golden words cross-checked against the RISC-V spec encodings.
+GOLDEN = [
+    ("addi t0, zero, 8", 0x00800293),
+    ("add a0, a1, a2", 0x00C58533),
+    ("sub a0, a1, a2", 0x40C58533),
+    ("lui t2, 16", 0x000103B7),
+    ("lw a0, 4(sp)", 0x00412503),
+    ("sw a0, 8(sp)", 0x00A12423),
+    ("jalr x0, ra, 0", 0x00008067),
+    ("ebreak", 0x00100073),
+    ("ecall", 0x00000073),
+    ("fadd.d ft3, ft0, ft1", 0x021071D3),
+    ("fmul.d ft2, ft3, fa0", 0x12A1F153),
+    ("fmadd.d ft3, ft0, ft4, ft3", 0x1A4071C3),
+    ("fld ft5, -16(a2)", 0xFF063287),
+    ("fsd ft3, 8(sp)", 0x00313427),
+    ("csrrs zero, 0x7C3, t0", 0x7C32A073),
+]
+
+
+@pytest.mark.parametrize("text,word", GOLDEN)
+def test_golden_encodings(text, word):
+    assert _enc(text) == word
+
+
+@pytest.mark.parametrize("text,word", GOLDEN)
+def test_golden_decodings(text, word):
+    instr = decode(word)
+    assert encode(instr) == word
+
+
+def test_branch_offset_encoding():
+    # Backward branch by -16 bytes (the paper's Fig. 1 style loop).
+    word = _enc("bne a0, a1, -16")
+    instr = decode(word)
+    assert instr.mnemonic == "bne"
+    assert instr.imm == -16
+
+
+def test_jal_offset_roundtrip():
+    for offset in (-1048576, -4, 0, 4, 2048, 1048574):
+        instr = Instr("jal", rd=1, imm=offset)
+        assert decode(encode(instr)).imm == offset
+
+
+def test_branch_offset_range_checked():
+    with pytest.raises(EncodingError):
+        encode(Instr("beq", rs1=1, rs2=2, imm=5000))
+    with pytest.raises(EncodingError):
+        encode(Instr("beq", rs1=1, rs2=2, imm=3))  # odd offset
+
+
+def test_immediate_range_checked():
+    with pytest.raises(EncodingError):
+        encode(Instr("addi", rd=1, rs1=1, imm=3000))
+    with pytest.raises(EncodingError):
+        encode(Instr("slli", rd=1, rs1=1, imm=32))
+
+
+def test_register_range_checked():
+    with pytest.raises(EncodingError):
+        encode(Instr("add", rd=32, rs1=0, rs2=0))
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(DecodeError):
+        decode(0xFFFFFFFF)
+    with pytest.raises(DecodeError):
+        decode(0x0000007F)
+
+
+def test_frep_packing_roundtrip():
+    for max_inst in (0, 7, 15):
+        for smax in (0, 3):
+            for smask in (0, 9):
+                imm = pack_frep(max_inst, smax, smask)
+                assert unpack_frep(imm) == (max_inst, smax, smask)
+
+
+def test_frep_packing_range():
+    with pytest.raises(EncodingError):
+        pack_frep(16)
+    with pytest.raises(EncodingError):
+        pack_frep(0, 16)
+    with pytest.raises(EncodingError):
+        pack_frep(0, 0, 16)
+
+
+def test_frep_encoding_roundtrip():
+    word = _enc("frep.o t2, 7, 3, 5")
+    instr = decode(word)
+    assert instr.mnemonic == "frep.o"
+    assert unpack_frep(instr.imm) == (7, 3, 5)
+
+
+def test_dma_encodings_roundtrip():
+    for text in ("dmsrc t0", "dmdst a1", "dmrep t2", "dmstr t0, t1",
+                 "dmcpy a0, t1", "dmstat a1"):
+        prog = assemble(text)
+        word = encode(prog.instrs[0])
+        back = decode(word)
+        assert back.mnemonic == prog.instrs[0].mnemonic
+        assert encode(back) == word
+
+
+def test_dma_encodings_all_distinct():
+    words = set()
+    for text in ("dmsrc t0", "dmdst t0", "dmrep t0", "dmstr t0, t0",
+                 "dmcpy t0, t0", "dmstat t0"):
+        words.add(encode(assemble(text).instrs[0]))
+    assert len(words) == 6
+
+
+def test_scfg_encodings_distinct():
+    w_w = _enc("scfgw t0, t1")
+    w_r = _enc("scfgr t0, t1")
+    assert w_w != w_r
+    assert decode(w_w).mnemonic == "scfgw"
+    assert decode(w_r).mnemonic == "scfgr"
+
+
+def test_store_negative_offset():
+    word = _enc("fsd ft0, -8(a0)")
+    assert decode(word).imm == -8
+
+
+def test_fr4_rs3_field():
+    instr = decode(_enc("fnmadd.d ft1, ft2, ft3, ft4"))
+    assert (instr.rd, instr.rs1, instr.rs2, instr.rs3) == (1, 2, 3, 4)

@@ -1,0 +1,91 @@
+"""Instruction spec table tests."""
+
+import pytest
+
+from repro.isa.instructions import (
+    FP_COMPUTE_CLASSES,
+    FP_QUEUE_CLASSES,
+    Format,
+    Instr,
+    InstrClass,
+    SPEC_TABLE,
+    spec_for,
+)
+
+
+def test_table_covers_expected_families():
+    expected = [
+        "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt",
+        "sltu", "addi", "lui", "auipc", "lw", "sw", "beq", "bne", "blt",
+        "bge", "jal", "jalr", "mul", "div", "csrrw", "csrrs", "csrrwi",
+        "fld", "fsd", "fadd.d", "fsub.d", "fmul.d", "fdiv.d", "fsqrt.d",
+        "fmadd.d", "fmsub.d", "fnmadd.d", "fnmsub.d", "fsgnj.d", "fmin.d",
+        "feq.d", "flt.d", "fle.d", "fcvt.w.d", "fcvt.d.w", "frep.o",
+        "frep.i", "scfgw", "scfgr", "ebreak", "ecall",
+    ]
+    for mnemonic in expected:
+        assert mnemonic in SPEC_TABLE, mnemonic
+
+
+def test_spec_for_unknown_raises():
+    with pytest.raises(KeyError, match="unknown mnemonic"):
+        spec_for("fadd.q")
+
+
+def test_fp_compute_classification():
+    assert spec_for("fadd.d").is_fp_compute
+    assert spec_for("fmadd.d").is_fp_compute
+    assert spec_for("fsgnj.d").is_fp_compute
+    assert not spec_for("fld").is_fp_compute
+    assert not spec_for("fsd").is_fp_compute
+    assert not spec_for("addi").is_fp_compute
+
+
+def test_fp_queue_classification():
+    # Everything the FP subsystem executes, including non-compute.
+    for mnemonic in ("fadd.d", "fld", "fsd", "frep.o", "scfgw"):
+        assert spec_for(mnemonic).is_fp, mnemonic
+    for mnemonic in ("addi", "beq", "lw", "ebreak"):
+        assert not spec_for(mnemonic).is_fp, mnemonic
+
+
+def test_compute_subset_of_queue_classes():
+    assert FP_COMPUTE_CLASSES < FP_QUEUE_CLASSES
+
+
+def test_operand_domains():
+    fld = spec_for("fld")
+    assert fld.rd_domain == "f" and fld.rs1_domain == "x"
+    fsd = spec_for("fsd")
+    assert fsd.rs2_domain == "f" and fsd.rs1_domain == "x"
+    feq = spec_for("feq.d")
+    assert feq.rd_domain == "x" and feq.rs1_domain == "f"
+    fcvt_dw = spec_for("fcvt.d.w")
+    assert fcvt_dw.rd_domain == "f" and fcvt_dw.rs1_domain == "x"
+    fmadd = spec_for("fmadd.d")
+    assert fmadd.rs3_domain == "f"
+
+
+def test_timing_classes():
+    assert spec_for("fadd.d").iclass is InstrClass.FP_ADD
+    assert spec_for("fmul.d").iclass is InstrClass.FP_MUL
+    assert spec_for("fmadd.d").iclass is InstrClass.FP_FMA
+    assert spec_for("fdiv.d").iclass is InstrClass.FP_DIV
+    assert spec_for("mul").iclass is InstrClass.INT_MUL
+    assert spec_for("div").iclass is InstrClass.INT_DIV
+    assert spec_for("frep.o").iclass is InstrClass.FREP
+
+
+def test_instr_accessors():
+    instr = Instr("fadd.d", rd=3, rs1=0, rs2=1)
+    assert instr.iclass is InstrClass.FP_ADD
+    assert instr.is_fp and instr.is_fp_compute
+    assert instr.spec.fmt is Format.FR
+
+
+def test_every_spec_has_consistent_format_domains():
+    for mnemonic, spec in SPEC_TABLE.items():
+        if spec.fmt in (Format.FR, Format.FR4):
+            assert spec.rs1_domain == "f", mnemonic
+        if spec.fmt in (Format.I, Format.SHIFT, Format.LOAD):
+            assert spec.rd_domain == "x", mnemonic

@@ -1,0 +1,72 @@
+"""Register name table tests."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG_NAMES,
+    INT_REG_NAMES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_SSRS,
+    fp_reg,
+    fp_reg_name,
+    int_reg,
+    int_reg_name,
+    is_ssr_reg,
+)
+
+
+def test_table_sizes():
+    assert len(INT_REG_NAMES) == NUM_INT_REGS == 32
+    assert len(FP_REG_NAMES) == NUM_FP_REGS == 32
+
+
+def test_int_abi_names_roundtrip():
+    for num in range(NUM_INT_REGS):
+        assert int_reg(int_reg_name(num)) == num
+
+
+def test_fp_abi_names_roundtrip():
+    for num in range(NUM_FP_REGS):
+        assert fp_reg(fp_reg_name(num)) == num
+
+
+def test_numeric_names():
+    assert int_reg("x0") == 0
+    assert int_reg("x31") == 31
+    assert fp_reg("f0") == 0
+    assert fp_reg("f31") == 31
+
+
+def test_well_known_aliases():
+    assert int_reg("zero") == 0
+    assert int_reg("ra") == 1
+    assert int_reg("sp") == 2
+    assert int_reg("fp") == 8      # alias of s0
+    assert int_reg("s0") == 8
+    assert int_reg("a0") == 10
+    assert int_reg("t6") == 31
+
+
+def test_fp_well_known():
+    assert fp_reg("ft0") == 0
+    assert fp_reg("ft7") == 7
+    assert fp_reg("fs0") == 8
+    assert fp_reg("fa0") == 10
+    assert fp_reg("ft8") == 28
+    assert fp_reg("ft11") == 31
+
+
+def test_unknown_register_raises():
+    with pytest.raises(ValueError):
+        int_reg("x32")
+    with pytest.raises(ValueError):
+        int_reg("ft0")
+    with pytest.raises(ValueError):
+        fp_reg("a0")
+
+
+def test_ssr_registers_are_the_first_three():
+    assert NUM_SSRS == 3
+    assert [is_ssr_reg(i) for i in range(5)] == [True, True, True, False,
+                                                 False]

@@ -1,0 +1,62 @@
+"""Grid layout arithmetic tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.layout import DOUBLE, Grid3d
+
+
+def test_shapes():
+    grid = Grid3d(nz=2, ny=3, nx=8, radius=1)
+    assert grid.shape_interior == (2, 3, 8)
+    assert grid.shape_padded == (4, 5, 10)
+    assert grid.points == 48
+
+
+def test_strides():
+    grid = Grid3d(nz=2, ny=3, nx=8)
+    assert grid.row_bytes == 10 * DOUBLE
+    assert grid.plane_bytes == 5 * 10 * DOUBLE
+    assert grid.total_bytes == 4 * 5 * 10 * DOUBLE
+
+
+def test_element_and_interior_offsets():
+    grid = Grid3d(nz=2, ny=3, nx=8)
+    assert grid.element_offset(0, 0, 0) == 0
+    assert grid.element_offset(0, 0, 1) == DOUBLE
+    assert grid.element_offset(0, 1, 0) == grid.row_bytes
+    assert grid.element_offset(1, 0, 0) == grid.plane_bytes
+    # Interior (0,0,0) sits one halo cell in on every axis.
+    assert grid.interior_offset(0, 0, 0) == \
+        grid.plane_bytes + grid.row_bytes + DOUBLE
+
+
+def test_linear_index_consistent_with_offset():
+    grid = Grid3d(nz=2, ny=3, nx=8)
+    for (z, y, x) in [(0, 0, 0), (1, 2, 3), (3, 4, 9)]:
+        assert grid.linear_index(z, y, x) * DOUBLE == \
+            grid.element_offset(z, y, x)
+
+
+def test_make_input_deterministic():
+    grid = Grid3d(nz=2, ny=3, nx=8)
+    a = grid.make_input(seed=9)
+    b = grid.make_input(seed=9)
+    assert np.array_equal(a, b)
+    assert a.shape == grid.shape_padded
+
+
+def test_extract_interior():
+    grid = Grid3d(nz=1, ny=2, nx=3)
+    padded = np.arange(np.prod(grid.shape_padded), dtype=float) \
+        .reshape(grid.shape_padded)
+    interior = grid.extract_interior(padded)
+    assert interior.shape == grid.shape_interior
+    assert interior[0, 0, 0] == padded[1, 1, 1]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Grid3d(nz=0, ny=3, nx=8)
+    with pytest.raises(ValueError):
+        Grid3d(nz=1, ny=1, nx=1, radius=0)

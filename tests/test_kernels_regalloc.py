@@ -1,0 +1,82 @@
+"""Register-budget tests: the paper's register-pressure story."""
+
+import pytest
+
+from repro.kernels.regalloc import plan_registers
+from repro.kernels.variants import Variant
+
+
+def test_base_variants_spill_with_27_taps():
+    # 29 usable regs - 4 accumulators - 2 temps = 23 resident -> 4 spills.
+    for variant in (Variant.BASE_MM, Variant.BASE_M):
+        plan = plan_registers(variant, ntaps=27, unroll=4)
+        assert plan.resident_coeffs == 23
+        assert len(plan.spilled_taps) == 4
+        assert plan.spilled_taps == (23, 24, 25, 26)
+        assert len(plan.temp_regs) == 2
+
+
+def test_base_streams_coefficients_no_registers():
+    plan = plan_registers(Variant.BASE, ntaps=27, unroll=4)
+    assert plan.resident_coeffs == 0
+    assert not plan.spilled_taps
+    assert plan.chain_mask == 0
+
+
+def test_chaining_fits_all_27_coefficients():
+    # The headline register-pressure result: a single chaining
+    # accumulator frees enough registers for every coefficient.
+    plan = plan_registers(Variant.CHAINING, ntaps=27, unroll=4)
+    assert plan.resident_coeffs == 27
+    assert not plan.spilled_taps
+    assert len(set(plan.acc_regs)) == 1
+    assert plan.chain_mask == 1 << plan.acc_regs[0]
+
+
+def test_chaining_plus_same_registers():
+    plan = plan_registers(Variant.CHAINING_PLUS, ntaps=27, unroll=4)
+    assert plan.resident_coeffs == 27
+    assert plan.chain_reg is not None
+
+
+def test_chaining_requires_matching_unroll():
+    with pytest.raises(ValueError, match="unroll == fpu_depth \\+ 1"):
+        plan_registers(Variant.CHAINING, ntaps=27, unroll=8)
+
+
+def test_chaining_unroll_follows_pipe_depth():
+    plan = plan_registers(Variant.CHAINING, ntaps=27, unroll=6, fpu_depth=5)
+    assert len(plan.acc_regs) == 6
+    assert len(set(plan.acc_regs)) == 1
+
+
+def test_chaining_overflow_detected():
+    # More coefficients than even chaining can hold: refuse loudly.
+    with pytest.raises(ValueError, match="register-resident"):
+        plan_registers(Variant.CHAINING, ntaps=40, unroll=4)
+
+
+def test_small_stencils_never_spill():
+    for variant in Variant:
+        plan = plan_registers(variant, ntaps=7, unroll=4)
+        assert not plan.spilled_taps
+
+
+def test_no_register_overlaps():
+    for variant in Variant:
+        plan = plan_registers(variant, ntaps=27, unroll=4)
+        accs = set(plan.acc_regs)
+        coeffs = set(plan.coeff_regs.values())
+        temps = set(plan.temp_regs)
+        assert not accs & coeffs
+        assert not accs & temps
+        assert not coeffs & temps
+        # Stream registers f0-f2 are never allocated.
+        assert all(r >= 3 for r in accs | coeffs | temps)
+
+
+def test_describe_mentions_variant():
+    plan = plan_registers(Variant.CHAINING, ntaps=27, unroll=4)
+    text = plan.describe()
+    assert "Chaining" in text
+    assert "27/27" in text

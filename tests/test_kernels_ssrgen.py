@@ -1,0 +1,87 @@
+"""SSR assembly-emission helper tests."""
+
+import pytest
+
+from repro.core import Cluster
+from repro.kernels.ssrgen import SsrPatternAsm
+from repro.ssr.config import CfgField, cfg_addr
+
+
+def test_ctrl_value_encoding():
+    read_1d = SsrPatternAsm(ssr=0, base=0, bounds=[4], strides=[8])
+    assert read_1d.ctrl_value() == 0
+    write_1d = SsrPatternAsm(ssr=2, base=0, bounds=[4], strides=[8],
+                             write=True)
+    assert write_1d.ctrl_value() == 1
+    ind_3d = SsrPatternAsm(ssr=0, base=0, bounds=[2, 2, 2],
+                           strides=[8, 16, 32], indirect=True)
+    assert ind_3d.ctrl_value() == 2 | (2 << 2)
+
+
+def test_emit_setup_programs_every_dim():
+    pattern = SsrPatternAsm(ssr=1, base=0x100, bounds=[3, 5],
+                            strides=[8, 40], repeat=2)
+    text = pattern.emit_setup()
+    assert f"li t1, {cfg_addr(1, CfgField.BOUND0)}" in text
+    assert f"li t1, {cfg_addr(1, CfgField.BOUND0 + 1)}" in text
+    assert f"li t1, {cfg_addr(1, CfgField.REPEAT)}" in text
+    assert text.count("scfgw") == 5   # 2 bounds + 2 strides + repeat
+
+
+def test_emit_arm_with_register_base():
+    pattern = SsrPatternAsm(ssr=0, base=0x100, bounds=[4], strides=[8])
+    text = pattern.emit_arm(base_reg="s0")
+    assert "scfgw s0, t1" in text
+    assert "li t0, 0" in text          # CTRL commit
+
+
+def test_mismatched_bounds_strides_rejected():
+    pattern = SsrPatternAsm(ssr=0, base=0, bounds=[2, 3], strides=[8])
+    with pytest.raises(ValueError, match="equal length"):
+        pattern.emit_setup()
+
+
+def test_too_many_dims_rejected():
+    pattern = SsrPatternAsm(ssr=0, base=0, bounds=[1] * 7,
+                            strides=[0] * 7)
+    with pytest.raises(ValueError, match="MAX_DIMS"):
+        pattern.emit_setup()
+
+
+def test_emitted_asm_assembles_and_runs():
+    import numpy as np
+
+    # repeat=1: each element serves both operand reads of the fadd.
+    pattern = SsrPatternAsm(ssr=0, base=0x2000, bounds=[4], strides=[8],
+                            repeat=1)
+    out = SsrPatternAsm(ssr=2, base=0x3000, bounds=[4], strides=[8],
+                        write=True)
+    prog = "\n".join([
+        pattern.emit(), out.emit(),
+        "    csrrsi x0, ssr_enable, 1",
+        "    li t3, 3",
+        "    frep.o t3, 0",
+        "    fadd.d ft2, ft0, ft0",
+        "    csrrci x0, ssr_enable, 1",
+        "    ebreak",
+    ])
+    cluster = Cluster(prog)
+    cluster.load_f64(0x2000, np.array([1.0, 2.0, 3.0, 4.0]))
+    cluster.run()
+    assert list(cluster.read_f64(0x3000, (4,))) == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_negative_strides_emitted_verbatim():
+    pattern = SsrPatternAsm(ssr=0, base=0x100, bounds=[4], strides=[-8])
+    assert "li t0, -8" in pattern.emit_setup()
+
+
+def test_indirect_fields_emitted():
+    pattern = SsrPatternAsm(ssr=1, base=0x100, bounds=[8], strides=[0],
+                            indirect=True, idx_base=0x500, idx_size=2,
+                            idx_shift=3)
+    text = pattern.emit_setup()
+    assert f"li t1, {cfg_addr(1, CfgField.IDX_BASE)}" in text
+    assert f"li t1, {cfg_addr(1, CfgField.IDX_CFG)}" in text
+    # idx_cfg packs log2(size) | shift<<4.
+    assert "li t0, 49" in text       # 1 | (3 << 4)

@@ -1,0 +1,104 @@
+"""Stencil specification and golden-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.stencil import (
+    StencilSpec,
+    box2d1r,
+    box3d1r,
+    j2d5pt,
+    j3d27pt,
+    star3d1r,
+)
+
+
+def test_box3d1r_shape():
+    spec = box3d1r()
+    assert spec.ntaps == 27
+    assert spec.radius == 1
+    assert spec.is_cube
+    assert abs(sum(spec.coeffs) - 1.0) < 1e-12
+
+
+def test_box3d1r_coeffs_distinct():
+    # All 27 coefficients distinct: this is what makes the kernel
+    # register-limited (each needs its own register or stream slot).
+    spec = box3d1r()
+    assert len(set(spec.coeffs)) == 27
+
+
+def test_j3d27pt_shape():
+    spec = j3d27pt()
+    assert spec.ntaps == 27
+    assert spec.is_cube
+    assert len(set(spec.coeffs)) == 27
+    # Center-heavy: the (0,0,0) tap has the largest weight.
+    center = spec.taps.index((0, 0, 0))
+    assert spec.coeffs[center] == max(spec.coeffs)
+
+
+def test_star3d1r_not_cube():
+    spec = star3d1r()
+    assert spec.ntaps == 7
+    assert not spec.is_cube
+
+
+def test_2d_variants_have_flat_z():
+    for spec in (j2d5pt(), box2d1r()):
+        assert all(tap[0] == 0 for tap in spec.taps)
+
+
+def test_tap_coeff_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="taps but"):
+        StencilSpec("bad", ((0, 0, 0),), (1.0, 2.0))
+
+
+def test_flops_per_point():
+    assert box3d1r().flops_per_point == 1 + 2 * 26
+    assert star3d1r().flops_per_point == 1 + 2 * 6
+
+
+def test_golden_constant_field():
+    # A normalized stencil over a constant field returns the constant.
+    spec = box3d1r()
+    grid = np.full((5, 5, 5), 3.0)
+    out = spec.golden(grid)
+    assert out.shape == (3, 3, 3)
+    assert np.allclose(out, 3.0)
+
+
+def test_golden_identity_stencil():
+    # A single-center-tap stencil has radius 0: the "interior" is the
+    # whole grid and the output is an exact copy.
+    spec = StencilSpec("ident", ((0, 0, 0),), (1.0,))
+    grid = np.random.default_rng(0).random((4, 4, 4))
+    out = spec.golden(grid)
+    assert spec.radius == 0
+    assert np.array_equal(out, grid)
+
+
+def test_golden_shift_stencil():
+    spec = StencilSpec("shift", ((0, 0, 1),), (1.0,))
+    grid = np.random.default_rng(0).random((4, 4, 5))
+    out = spec.golden(grid)
+    assert np.array_equal(out, grid[1:-1, 1:-1, 2:])
+
+
+def test_golden_matches_naive_loop():
+    spec = star3d1r()
+    rng = np.random.default_rng(1)
+    grid = rng.random((4, 5, 6))
+    out = spec.golden(grid)
+    for z in range(out.shape[0]):
+        for y in range(out.shape[1]):
+            for x in range(out.shape[2]):
+                acc = spec.coeffs[0] * grid[1 + z, 1 + y, 1 + x]
+                for (dz, dy, dx), c in zip(spec.taps[1:], spec.coeffs[1:]):
+                    acc = grid[1 + z + dz, 1 + y + dy, 1 + x + dx] * c + acc
+                assert out[z, y, x] == acc
+
+
+def test_golden_too_small_grid_rejected():
+    with pytest.raises(ValueError, match="too small"):
+        box3d1r().golden(np.zeros((2, 5, 5)))

@@ -1,0 +1,36 @@
+"""Variant enum property tests."""
+
+from repro.kernels.variants import VARIANT_ORDER, Variant
+
+
+def test_labels_match_paper():
+    assert [v.label for v in VARIANT_ORDER] == \
+        ["Base--", "Base-", "Base", "Chaining", "Chaining+"]
+
+
+def test_chaining_flags():
+    assert not Variant.BASE.uses_chaining
+    assert Variant.CHAINING.uses_chaining
+    assert Variant.CHAINING_PLUS.uses_chaining
+
+
+def test_coefficient_source_is_exclusive():
+    for variant in Variant:
+        # Coefficients come from exactly one place: SSR, RF, or
+        # explicit loads (the fallback when both flags are false).
+        assert not (variant.coeffs_via_ssr and variant.coeffs_in_rf)
+
+
+def test_paper_variant_table():
+    # The table from section III, row by row.
+    expect = {
+        Variant.BASE_MM: (False, False, False),
+        Variant.BASE_M: (False, False, True),
+        Variant.BASE: (True, False, False),
+        Variant.CHAINING: (False, True, False),
+        Variant.CHAINING_PLUS: (False, True, True),
+    }
+    for variant, (via_ssr, in_rf, wb_ssr) in expect.items():
+        assert variant.coeffs_via_ssr == via_ssr, variant
+        assert variant.coeffs_in_rf == in_rf, variant
+        assert variant.writeback_via_ssr == wb_ssr, variant

@@ -1,0 +1,199 @@
+"""DMA engine tests: unit level and through the Xdma instructions."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster
+from repro.mem.dma import DmaEngine
+from repro.mem.memory import Memory
+
+
+def make_dma(bpc=64):
+    mem = Memory(1 << 16)
+    return mem, DmaEngine(mem, bytes_per_cycle=bpc)
+
+
+def test_1d_copy():
+    mem, dma = make_dma()
+    data = np.arange(32, dtype=np.float64)
+    mem.write_array(0x100, data)
+    dma.set_src(0x100)
+    dma.set_dst(0x800)
+    txid = dma.start(32 * 8)
+    assert txid == 1
+    while not dma.idle:
+        dma.step()
+    assert np.array_equal(mem.read_array(0x800, (32,)), data)
+    assert dma.bytes_moved == 256
+
+
+def test_bandwidth_bounds_duration():
+    mem, dma = make_dma(bpc=16)
+    mem.fill(0x100, 256, 0xAA)
+    dma.set_src(0x100)
+    dma.set_dst(0x800)
+    dma.start(256)
+    cycles = 0
+    while not dma.idle:
+        dma.step()
+        cycles += 1
+    assert cycles == 256 // 16
+
+
+def test_2d_strided_copy():
+    # Gather 4 rows of 16 bytes out of a 64-byte-pitch region.
+    mem, dma = make_dma()
+    for row in range(4):
+        mem.fill(0x100 + row * 64, 16, row + 1)
+    dma.set_src(0x100)
+    dma.set_dst(0x800)
+    dma.set_strides(64, 16)
+    dma.set_reps(4)
+    dma.start(16)
+    while not dma.idle:
+        dma.step()
+    for row in range(4):
+        assert mem.read_u8(0x800 + row * 16) == row + 1
+    assert dma.bytes_moved == 64
+
+
+def test_queueing_in_order():
+    mem, dma = make_dma(bpc=8)
+    mem.fill(0x100, 8, 1)
+    mem.fill(0x200, 8, 2)
+    dma.set_src(0x100)
+    dma.set_dst(0x800)
+    dma.start(8)
+    dma.set_src(0x200)
+    dma.set_dst(0x808)
+    dma.start(8)
+    assert dma.outstanding() == 2
+    while not dma.idle:
+        dma.step()
+    assert mem.read_u8(0x800) == 1
+    assert mem.read_u8(0x808) == 2
+    assert dma.transfers_completed == 2
+
+
+def test_queue_depth_enforced():
+    mem, dma = make_dma()
+    dma.queue_depth = 1
+    dma.set_src(0x100)
+    dma.set_dst(0x800)
+    dma.start(8)
+    with pytest.raises(RuntimeError, match="queue full"):
+        dma.start(8)
+
+
+def test_validation():
+    mem, dma = make_dma()
+    with pytest.raises(ValueError):
+        dma.set_reps(0)
+    with pytest.raises(ValueError):
+        dma.start(0)
+
+
+def test_xdma_instructions_end_to_end():
+    prog = """
+    li t0, 0x2000
+    dmsrc t0
+    li t0, 0x4000
+    dmdst t0
+    li t1, 256
+    dmcpy a0, t1
+wait:
+    dmstat a1
+    bnez a1, wait
+    li t6, 0x5000
+    sw a0, 0(t6)
+    ebreak
+"""
+    cluster = Cluster(prog)
+    data = np.arange(32, dtype=np.float64)
+    cluster.load_f64(0x2000, data)
+    cluster.run()
+    assert np.array_equal(cluster.read_f64(0x4000, (32,)), data)
+    assert cluster.mem.read_u32(0x5000) == 1   # txid
+
+
+def test_xdma_2d_instructions():
+    prog = """
+    li t0, 0x2000
+    dmsrc t0
+    li t0, 0x4000
+    dmdst t0
+    li t1, 128
+    li t2, 64
+    dmstr t1, t2
+    li t1, 3
+    dmrep t1
+    li t1, 64
+    dmcpy a0, t1
+wait:
+    dmstat a1
+    bnez a1, wait
+    ebreak
+"""
+    cluster = Cluster(prog)
+    for row in range(3):
+        cluster.load_f64(0x2000 + 128 * row,
+                         np.full(8, float(row + 1)))
+    cluster.run()
+    for row in range(3):
+        out = cluster.read_f64(0x4000 + 64 * row, (8,))
+        assert np.array_equal(out, np.full(8, float(row + 1)))
+
+
+def test_dma_overlaps_with_compute():
+    # Issue a long DMA, compute while it runs, then wait: the total
+    # runtime is close to max(dma, compute), not the sum.
+    prog = """
+    li t0, 0x8000
+    dmsrc t0
+    li t0, 0xC000
+    dmdst t0
+    li t1, 4096
+    dmcpy a0, t1
+    li a2, 0x2000
+    fld fa0, 0(a2)
+    li t2, 63
+    frep.o t2, 3
+    fmul.d fa1, fa0, fa0
+    fmul.d fa2, fa0, fa0
+    fmul.d fa3, fa0, fa0
+    fmul.d fa4, fa0, fa0
+wait:
+    dmstat a1
+    bnez a1, wait
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.mem.write_f64(0x2000, 1.5)
+    cluster.run()
+    # 4096B at 64B/cycle = 64 DMA cycles; 256 compute ops ~ 256 cycles;
+    # overall must be far below the 320+ cycles of serial execution.
+    assert cluster.perf.value("fpu_compute_ops") == 256
+    assert cluster.dma.bytes_moved == 4096
+    assert cluster.cycle < 300
+
+
+def test_dma_energy_accounted():
+    from repro.core import CoreConfig
+    from repro.energy.model import EnergyModel
+
+    prog = """
+    li t0, 0x2000
+    dmsrc t0
+    li t0, 0x4000
+    dmdst t0
+    li t1, 512
+    dmcpy a0, t1
+wait:
+    dmstat a1
+    bnez a1, wait
+    ebreak
+"""
+    cluster = Cluster(prog)
+    cluster.run()
+    report = EnergyModel(CoreConfig()).report(cluster)
+    assert report.breakdown["dma"] == pytest.approx(512 * 0.9)

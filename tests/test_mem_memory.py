@@ -1,0 +1,100 @@
+"""Flat memory and allocator tests."""
+
+import numpy as np
+import pytest
+
+from repro.mem.memory import Allocator, Memory, MemoryError_
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        Memory(0)
+    with pytest.raises(ValueError):
+        Memory(12)
+
+
+def test_scalar_roundtrips():
+    mem = Memory(1024)
+    mem.write_u8(3, 0xAB)
+    assert mem.read_u8(3) == 0xAB
+    mem.write_u16(10, 0xBEEF)
+    assert mem.read_u16(10) == 0xBEEF
+    mem.write_u32(16, 0xDEADBEEF)
+    assert mem.read_u32(16) == 0xDEADBEEF
+    mem.write_u64(24, 0x0123456789ABCDEF)
+    assert mem.read_u64(24) == 0x0123456789ABCDEF
+    mem.write_f64(32, -1.5)
+    assert mem.read_f64(32) == -1.5
+    mem.write_f32(40, 2.0)
+    assert mem.read_f32(40) == 2.0
+
+
+def test_wrapping_on_write():
+    mem = Memory(64)
+    mem.write_u8(0, 0x1FF)
+    assert mem.read_u8(0) == 0xFF
+    mem.write_u32(4, 1 << 35)
+    assert mem.read_u32(4) == 0
+
+
+def test_misaligned_access_raises():
+    mem = Memory(64)
+    with pytest.raises(MemoryError_, match="misaligned"):
+        mem.read_u32(2)
+    with pytest.raises(MemoryError_, match="misaligned"):
+        mem.write_f64(4, 1.0)
+
+
+def test_out_of_range_raises():
+    mem = Memory(64)
+    with pytest.raises(MemoryError_):
+        mem.read_u64(64)
+    with pytest.raises(MemoryError_):
+        mem.write_u8(-1, 0)
+
+
+def test_array_roundtrip():
+    mem = Memory(4096)
+    data = np.arange(32, dtype=np.float64).reshape(4, 8)
+    mem.write_array(64, data)
+    out = mem.read_array(64, (4, 8))
+    assert np.array_equal(out, data)
+
+
+def test_u32_array_roundtrip():
+    mem = Memory(4096)
+    data = np.arange(10, dtype=np.uint32)
+    mem.write_array(128, data)
+    assert np.array_equal(mem.read_array(128, (10,), np.uint32), data)
+
+
+def test_array_bounds_checked():
+    mem = Memory(64)
+    with pytest.raises(MemoryError_):
+        mem.write_array(32, np.zeros(8))
+
+
+def test_fill():
+    mem = Memory(64)
+    mem.fill(8, 16, 0x7F)
+    assert mem.read_u8(8) == 0x7F
+    assert mem.read_u8(23) == 0x7F
+    assert mem.read_u8(24) == 0
+
+
+def test_little_endian_layout():
+    mem = Memory(64)
+    mem.write_u32(0, 0x11223344)
+    assert mem.read_u8(0) == 0x44
+    assert mem.read_u8(3) == 0x11
+
+
+def test_allocator_alignment_and_bump():
+    alloc = Allocator(base=0x10)
+    a = alloc.alloc(5)
+    b = alloc.alloc(8)
+    assert a == 0x10
+    assert b % 8 == 0 and b >= a + 5
+    c = alloc.alloc_f64(4)
+    assert c % 8 == 0
+    assert alloc.used == c + 32

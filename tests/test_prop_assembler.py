@@ -1,0 +1,30 @@
+"""Property-based assembler <-> disassembler round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import format_instr
+
+from tests.test_prop_encoding import instructions
+
+
+@given(st.lists(instructions(), min_size=1, max_size=12))
+@settings(max_examples=150)
+def test_disassemble_reassemble_program(instrs):
+    text = "\n".join(format_instr(i) for i in instrs)
+    prog = assemble(text)
+    assert len(prog) == len(instrs)
+    for orig, back in zip(instrs, prog.instrs):
+        assert format_instr(back) == format_instr(orig)
+
+
+@given(st.lists(instructions(), min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_words_stable_through_text(instrs):
+    from repro.isa.encoding import encode
+
+    text = "\n".join(format_instr(i) for i in instrs)
+    words_direct = [encode(i) for i in instrs]
+    words_via_text = assemble(text).encode_words()
+    assert words_direct == words_via_text

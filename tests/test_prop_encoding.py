@@ -1,0 +1,78 @@
+"""Property-based encode/decode round-trip over the full spec table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.disassembler import format_instr
+from repro.isa.encoding import decode, encode, pack_frep
+from repro.isa.instructions import Format, Instr, SPEC_TABLE
+
+reg = st.integers(0, 31)
+imm12 = st.integers(-2048, 2047)
+branch_off = st.integers(-2048, 2047).map(lambda v: v * 2)
+jump_off = st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2)
+uimm20 = st.integers(0, (1 << 20) - 1)
+shamt = st.integers(0, 31)
+csr_addr = st.integers(0, 0xFFF)
+uimm5 = st.integers(0, 31)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(sorted(SPEC_TABLE)))
+    spec = SPEC_TABLE[mnemonic]
+    instr = Instr(mnemonic)
+    fmt = spec.fmt
+    if fmt in (Format.R, Format.FR):
+        instr.rd, instr.rs1, instr.rs2 = draw(reg), draw(reg), draw(reg)
+    elif fmt == Format.FR1:
+        instr.rd, instr.rs1 = draw(reg), draw(reg)
+    elif fmt == Format.FR4:
+        instr.rd, instr.rs1 = draw(reg), draw(reg)
+        instr.rs2, instr.rs3 = draw(reg), draw(reg)
+    elif fmt in (Format.I, Format.LOAD, Format.FLOAD, Format.JR):
+        instr.rd, instr.rs1, instr.imm = draw(reg), draw(reg), draw(imm12)
+    elif fmt == Format.SHIFT:
+        instr.rd, instr.rs1, instr.imm = draw(reg), draw(reg), draw(shamt)
+    elif fmt in (Format.S, Format.FSTORE):
+        instr.rs1, instr.rs2, instr.imm = draw(reg), draw(reg), draw(imm12)
+    elif fmt == Format.B:
+        instr.rs1, instr.rs2 = draw(reg), draw(reg)
+        instr.imm = draw(branch_off)
+    elif fmt == Format.U:
+        instr.rd, instr.imm = draw(reg), draw(uimm20)
+    elif fmt == Format.J:
+        instr.rd, instr.imm = draw(reg), draw(jump_off)
+    elif fmt == Format.CSR:
+        instr.rd, instr.rs1 = draw(reg), draw(reg)
+        instr.csr = draw(csr_addr)
+    elif fmt == Format.CSRI:
+        instr.rd, instr.imm = draw(reg), draw(uimm5)
+        instr.csr = draw(csr_addr)
+    elif fmt == Format.FREP:
+        instr.rs1 = draw(reg)
+        instr.imm = pack_frep(draw(st.integers(0, 15)),
+                              draw(st.integers(0, 15)),
+                              draw(st.integers(0, 15)))
+    elif fmt == Format.SCFGW:
+        instr.rs1, instr.rs2 = draw(reg), draw(reg)
+    elif fmt == Format.SCFGR:
+        instr.rd, instr.rs1 = draw(reg), draw(reg)
+    return instr
+
+
+@given(instructions())
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < 1 << 32
+    back = decode(word)
+    assert back.mnemonic == instr.mnemonic
+    assert format_instr(back) == format_instr(instr)
+
+
+@given(instructions())
+@settings(max_examples=200)
+def test_decode_is_deterministic(instr):
+    word = encode(instr)
+    assert encode(decode(word)) == word

@@ -1,0 +1,130 @@
+"""Affine and indirect address generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.ssr.address_gen import AffineGenerator, IndirectGenerator
+from repro.ssr.config import SsrConfig, SsrMode
+
+
+def affine(base, bounds, strides, repeat=0):
+    return AffineGenerator(SsrConfig(
+        base=base, bounds=list(bounds) + [1] * (6 - len(bounds)),
+        strides=list(strides) + [0] * (6 - len(strides)),
+        ndims=len(bounds), repeat=repeat,
+    ))
+
+
+def test_1d_contiguous():
+    gen = affine(0x100, [4], [8])
+    assert gen.all_addresses() == [0x100, 0x108, 0x110, 0x118]
+
+
+def test_1d_strided_negative():
+    gen = affine(0x100, [3], [-16])
+    assert gen.all_addresses() == [0x100, 0xF0, 0xE0]
+
+
+def test_2d_matches_numpy_index_arithmetic():
+    base, b0, b1, s0, s1 = 0x200, 3, 4, 8, 100
+    gen = affine(base, [b0, b1], [s0, s1])
+    expected = [base + i0 * s0 + i1 * s1
+                for i1 in range(b1) for i0 in range(b0)]
+    assert gen.all_addresses() == expected
+
+
+def test_4d_nest_order_dim0_innermost():
+    gen = affine(0, [2, 2, 2, 2], [1, 10, 100, 1000])
+    addrs = gen.all_addresses()
+    assert addrs[0] == 0
+    assert addrs[1] == 1       # dim0 advances first
+    assert addrs[2] == 10
+    assert addrs[-1] == 1111
+    assert len(addrs) == 16
+
+
+def test_remaining_and_exhaustion():
+    gen = affine(0, [3], [8])
+    assert gen.remaining == 3
+    gen.next()
+    assert gen.remaining == 2
+    gen.next(), gen.next()
+    assert gen.exhausted
+    with pytest.raises(RuntimeError):
+        gen.next()
+
+
+def test_peek_does_not_advance():
+    gen = affine(64, [2], [8])
+    assert gen.peek() == 64
+    assert gen.peek() == 64
+    assert gen.next() == 64
+    assert gen.peek() == 72
+
+
+def test_zero_stride_repeats_address():
+    gen = affine(0x40, [3], [0])
+    assert gen.all_addresses() == [0x40, 0x40, 0x40]
+
+
+def test_stencil_window_pattern():
+    """The 27-tap cube walk used by the kernels, checked against numpy."""
+    px, py = 10, 6   # padded x/y extents
+    plane, row = py * px * 8, px * 8
+    gen = affine(0, [4, 3, 3, 3], [8, 8, row, plane])
+    addrs = np.array(gen.all_addresses())
+    expected = []
+    for dz in range(3):
+        for dy in range(3):
+            for dx in range(3):
+                for p in range(4):
+                    expected.append(p * 8 + dx * 8 + dy * row + dz * plane)
+    assert np.array_equal(addrs, np.array(expected))
+
+
+def test_indirect_requires_flag():
+    with pytest.raises(ValueError):
+        IndirectGenerator(SsrConfig(indirect=False))
+
+
+def test_indirect_index_walk_and_scaling():
+    cfg = SsrConfig(base=0x1000, bounds=[3, 1, 1, 1, 1, 1], ndims=1,
+                    indirect=True, idx_base=0x500, idx_size=4, idx_shift=3)
+    gen = IndirectGenerator(cfg)
+    assert gen.next_index_addr() == 0x500
+    assert gen.next_index_addr() == 0x504
+    assert gen.data_addr(7) == 0x1000 + (7 << 3)
+    assert gen.remaining == 1
+    gen.next_index_addr()
+    assert gen.exhausted
+    with pytest.raises(RuntimeError):
+        gen.next_index_addr()
+
+
+def test_indirect_u16_indices():
+    cfg = SsrConfig(base=0, bounds=[2, 1, 1, 1, 1, 1], ndims=1,
+                    indirect=True, idx_base=0x100, idx_size=2, idx_shift=2)
+    gen = IndirectGenerator(cfg)
+    assert gen.next_index_addr() == 0x100
+    assert gen.next_index_addr() == 0x102
+    assert gen.data_addr(5) == 5 << 2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SsrConfig(ndims=0).validate()
+    with pytest.raises(ValueError):
+        SsrConfig(ndims=7).validate()
+    with pytest.raises(ValueError):
+        SsrConfig(bounds=[0, 1, 1, 1, 1, 1]).validate()
+    with pytest.raises(ValueError):
+        SsrConfig(repeat=-1).validate()
+    with pytest.raises(ValueError):
+        SsrConfig(indirect=True, idx_size=3).validate()
+    with pytest.raises(ValueError):
+        SsrConfig(indirect=True, mode=SsrMode.WRITE, repeat=2).validate()
+
+
+def test_total_elements():
+    cfg = SsrConfig(bounds=[4, 3, 2, 1, 1, 1], ndims=3)
+    assert cfg.total_elements() == 24

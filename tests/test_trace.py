@@ -1,0 +1,76 @@
+"""Trace recorder and figure renderers."""
+
+import numpy as np
+
+from repro.core import Cluster
+from repro.kernels.build import MARK_START
+from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
+
+
+def run_traced_vecop(variant=VecopVariant.CHAINING, n=16,
+                     loop_mode="bne"):
+    build = build_vecop(n=n, variant=variant, loop_mode=loop_mode)
+    trace = TraceRecorder()
+    cluster = Cluster(build.asm, trace=trace)
+    build.load_into(cluster)
+    cluster.run()
+    return cluster, trace
+
+
+def test_events_recorded_for_both_halves():
+    cluster, trace = run_traced_vecop()
+    assert trace.fp_events
+    assert trace.int_events
+    kinds = {e.kind for e in trace.fp_events}
+    assert "compute" in kinds and "csr" in kinds
+
+
+def test_fp_events_between():
+    cluster, trace = run_traced_vecop()
+    start = cluster.perf.marks[MARK_START].cycle
+    window = trace.fp_events_between(start, start + 10)
+    assert all(start <= e.cycle < start + 10 for e in window)
+
+
+def test_issue_trace_shows_bubbles_for_baseline():
+    cluster, trace = run_traced_vecop(variant=VecopVariant.BASELINE)
+    start = cluster.perf.marks[MARK_START].cycle
+    text = render_issue_trace(trace, start_cycle=start, max_slots=20)
+    lines = text.splitlines()[2:]
+    empty = sum(1 for line in lines if line.strip().isdigit())
+    busy = sum(1 for line in lines if "fadd" in line or "fmul" in line)
+    # Baseline wastes most slots on RAW stalls (Fig. 1a).
+    assert empty > busy
+
+
+def test_issue_trace_dense_for_chaining():
+    cluster, trace = run_traced_vecop(variant=VecopVariant.CHAINING,
+                                      loop_mode="frep", n=32)
+    start = cluster.perf.marks[MARK_START].cycle + 8
+    text = render_issue_trace(trace, start_cycle=start, max_slots=16)
+    lines = text.splitlines()[2:]
+    busy = sum(1 for line in lines if "fadd" in line or "fmul" in line)
+    assert busy >= 14
+
+
+def test_issue_trace_with_int_column():
+    _, trace = run_traced_vecop()
+    text = render_issue_trace(trace, show_int=True, max_slots=60)
+    assert "| int:" in text
+
+
+def test_dataflow_shows_fifo_fill():
+    cluster, trace = run_traced_vecop(loop_mode="frep", n=32)
+    start = cluster.perf.marks[MARK_START].cycle
+    text = render_dataflow(trace, chain_reg=3, start_cycle=start,
+                           max_slots=24)
+    assert "fifo" in text.splitlines()[0]
+    # The pipe fills to capacity during the fadd group.
+    assert "[###|" in text
+
+
+def test_empty_trace_handled():
+    trace = TraceRecorder()
+    assert "no FP issue events" in render_issue_trace(trace)
+    assert "no FP issue events" in render_dataflow(trace)
