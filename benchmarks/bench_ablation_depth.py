@@ -1,47 +1,31 @@
 """Ablation: chaining benefit vs. FPU pipeline depth (section II remark).
 
-"Chaining benefits are increased for functional units with deeper
-pipelines": the baseline loses `depth` issue slots per dependent pair
-while chaining keeps one architectural register regardless of depth.
+Runs the ``depth-ablation`` sweep preset through the campaign engine;
+the experiment's rationale and a worked walkthrough live in
+``docs/sweeps.md``.
 """
 
-from repro.core.config import CoreConfig
 from repro.eval.report import format_table
-from repro.eval.runner import run_build
-from repro.isa.instructions import InstrClass
-from repro.kernels.vecop import VecopVariant, build_vecop
-
-# Depth 7 is the frep limit: the chaining body holds 2*(depth+1)
-# instructions and the sequencer buffer is 16 entries.
-DEPTHS = (1, 2, 3, 4, 5, 6)
-
-
-def _config(depth: int) -> CoreConfig:
-    cfg = CoreConfig()
-    cfg.fpu_latency = dict(cfg.fpu_latency)
-    for iclass in (InstrClass.FP_ADD, InstrClass.FP_MUL,
-                   InstrClass.FP_FMA):
-        cfg.fpu_latency[iclass] = depth
-    cfg.fpu_pipe_depth = depth
-    return cfg
+from repro.sweep import SweepRunner
+from repro.sweep.presets import ABLATION_DEPTHS, depth_ablation_points
 
 
 def _sweep():
-    rows = []
-    for depth in DEPTHS:
-        cfg = _config(depth)
-        n = 24 * (depth + 1)
-        base = run_build(build_vecop(n=n, variant=VecopVariant.BASELINE,
-                                     cfg=cfg), cfg=cfg)
-        chain = run_build(build_vecop(n=n, variant=VecopVariant.CHAINING,
-                                      cfg=cfg), cfg=cfg)
-        rows.append((depth, base.fpu_utilization, chain.fpu_utilization,
-                     depth + 1))
-    return rows
+    campaign = SweepRunner(workers=0).run(depth_ablation_points())
+    campaign.raise_on_failure()
+    by_depth = {}
+    for outcome in campaign:
+        depth = dict(outcome.point.overrides)["fpu_depth"]
+        by_depth.setdefault(depth, {})[outcome.point.variant] = \
+            outcome.result
+    return [(depth, row["baseline"].fpu_utilization,
+             row["chaining"].fpu_utilization, depth + 1)
+            for depth, row in sorted(by_depth.items())]
 
 
 def test_depth_ablation(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert len(rows) == len(ABLATION_DEPTHS)
     print()
     print(format_table(
         ["pipe depth", "baseline util", "chaining util",

@@ -16,20 +16,20 @@ import numpy as np
 
 from repro.core import Cluster
 from repro.eval.report import format_table
-from repro.eval.runner import run_build
-from repro.kernels.layout import Grid3d
-from repro.kernels.stencil import star3d1r
-from repro.kernels.stencil_codegen import build_stencil
-from repro.kernels.variants import Variant
+from repro.sweep import SweepRunner, make_point
 
 DATA = 0x2000
 
 
 def test_irregular_taps_through_indirection(benchmark):
-    grid = Grid3d(nz=2, ny=4, nx=24)
-    build = build_stencil(star3d1r(), grid, Variant.CHAINING_PLUS)
-    result = benchmark.pedantic(run_build, args=(build,), rounds=1,
-                                iterations=1)
+    point = make_point("star3d1r", "Chaining+", grid=(2, 4, 24))
+
+    def run():
+        campaign = SweepRunner(workers=0).run([point])
+        campaign.raise_on_failure()
+        return campaign.outcomes[0].result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"\nstar3d1r/Chaining+: util={result.fpu_utilization:.3f} "
           f"cycles/point={result.cycles_per_point:.2f} "
           f"(indirect gather, 2 TCDM accesses per element)")

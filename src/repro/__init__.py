@@ -22,6 +22,8 @@ Package map:
 * :mod:`repro.kernels` -- Fig. 1 vecop and SARIS-style stencil generators
 * :mod:`repro.energy`  -- event-based energy/power and area models
 * :mod:`repro.eval`    -- run harness and figure regeneration
+* :mod:`repro.sweep`   -- experiment campaigns: declarative sweeps,
+  parallel execution, content-addressed result caching, aggregation
 * :mod:`repro.trace`   -- issue traces (Fig. 1c) and dataflow (Fig. 2)
 """
 
@@ -41,12 +43,21 @@ from repro.kernels import (
     j3d27pt,
     star3d1r,
 )
+from repro.sweep import (
+    Campaign,
+    Point,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    make_point,
+)
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AreaModel",
+    "Campaign",
     "ChainController",
     "Cluster",
     "CoreConfig",
@@ -54,8 +65,12 @@ __all__ = [
     "EnergyParams",
     "Grid3d",
     "KernelBuild",
+    "Point",
+    "ResultCache",
     "RunResult",
     "StencilSpec",
+    "SweepRunner",
+    "SweepSpec",
     "TraceRecorder",
     "Variant",
     "VecopVariant",
@@ -69,6 +84,7 @@ __all__ = [
     "encode",
     "geomean",
     "j3d27pt",
+    "make_point",
     "render_dataflow",
     "render_issue_trace",
     "run_build",

@@ -8,7 +8,9 @@ Commands map one-to-one onto the paper's artifacts:
 * ``run``    -- a single kernel/variant with full metrics;
 * ``trace``  -- the Fig. 1c / Fig. 2 issue and dataflow traces;
 * ``area``   -- the area-overhead estimate;
-* ``list``   -- available kernels and variants.
+* ``sweep``  -- run an experiment campaign (preset or spec file) through
+  the parallel, cached sweep engine;
+* ``list``   -- available kernels, variants and sweep presets.
 
 ``--json PATH`` on the data-producing commands writes machine-readable
 results for downstream processing.
@@ -17,6 +19,7 @@ results for downstream processing.
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 
@@ -37,6 +40,16 @@ from repro.kernels.layout import Grid3d
 from repro.kernels.registry import kernel_names
 from repro.kernels.variants import VARIANT_ORDER, Variant
 from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.sweep import (
+    PRESETS,
+    RESULT_METRICS,
+    SweepRunner,
+    SweepSpec,
+    normalize_variant,
+    preset_points,
+    speedup_vs_baseline,
+    summary_rows,
+)
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
 
@@ -62,11 +75,10 @@ def _maybe_write_json(path: str | None, payload) -> None:
 
 
 def _variant_by_label(label: str) -> Variant:
-    for variant in Variant:
-        if variant.label.lower() == label.lower():
-            return variant
-    options = ", ".join(v.label for v in Variant)
-    raise SystemExit(f"unknown variant {label!r}; choose from: {options}")
+    try:
+        return Variant.from_label(label)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def cmd_fig1(args) -> int:
@@ -84,18 +96,21 @@ def cmd_fig1(args) -> int:
 
 def cmd_fig3(args) -> int:
     kernels = tuple(args.kernel) if args.kernel else ("box3d1r", "j3d27pt")
-    results = fig3_data(kernels=kernels)
+    try:
+        results = fig3_data(kernels=kernels)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     rows = []
-    for (kernel, label), res in results.items():
-        paper_util = PAPER_FIG3_UTILIZATION.get(kernel, {}).get(
-            _variant_by_label(label))
-        paper_power = PAPER_FIG3_POWER_MW.get(kernel, {}).get(
-            _variant_by_label(label))
-        rows.append([kernel, label,
-                     paper_util if paper_util is not None else "-",
-                     round(res.fpu_utilization, 3),
-                     paper_power if paper_power is not None else "-",
-                     round(res.power_mw, 1)])
+    for kernel in kernels:
+        for variant in VARIANT_ORDER:
+            res = results[kernel, variant.label]
+            paper_util = PAPER_FIG3_UTILIZATION.get(kernel, {}).get(variant)
+            paper_power = PAPER_FIG3_POWER_MW.get(kernel, {}).get(variant)
+            rows.append([kernel, variant.label,
+                         paper_util if paper_util is not None else "-",
+                         round(res.fpu_utilization, 3),
+                         paper_power if paper_power is not None else "-",
+                         round(res.power_mw, 1)])
     print(format_table(
         ["kernel", "variant", "util(paper)", "util(ours)",
          "mW(paper)", "mW(ours)"],
@@ -156,13 +171,133 @@ def cmd_area(args) -> int:
     print(format_table(["component", "kGE"], rows, title="Area model"))
     print(f"chaining overhead: {model.overhead_core_percent:.2f}% of core "
           f"complex (paper: <2%)")
+    _maybe_write_json(args.json, {
+        "breakdown_kge": model.breakdown(),
+        "overhead_core_percent": model.overhead_core_percent,
+    })
     return 0
+
+
+def cmd_sweep(args) -> int:
+    if bool(args.preset) == bool(args.spec):
+        raise SystemExit("pass exactly one of --preset or --spec")
+    if args.metric not in RESULT_METRICS:
+        raise SystemExit(
+            f"unknown metric {args.metric!r}; choose from: "
+            f"{', '.join(sorted(RESULT_METRICS))}")
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = normalize_variant(args.baseline)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    if args.preset:
+        try:
+            description, points = preset_points(args.preset)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        title = f"sweep preset {args.preset!r} ({description})"
+    else:
+        try:
+            spec = SweepSpec.from_file(args.spec)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"bad spec {args.spec}: {exc}") from None
+        points = spec.points()
+        title = f"sweep {spec.name!r} from {args.spec}"
+    if not points:
+        raise SystemExit("spec expands to zero points")
+
+    runner = SweepRunner(
+        cache=None if args.no_cache else args.cache_dir,
+        workers=args.workers, timeout=args.timeout)
+
+    def progress(outcome, done, total):
+        if not args.quiet:
+            tag = "hit" if outcome.cached else outcome.status
+            print(f"[{done:3d}/{total}] {tag:7s} {outcome.point.label}"
+                  + (f" ({outcome.seconds:.2f}s)" if not outcome.cached
+                     else ""))
+
+    print(f"{title}: {len(points)} points, "
+          + ("cache off" if args.no_cache else f"cache {args.cache_dir}"))
+    campaign = runner.run(points, progress=progress)
+
+    print()
+    print(format_table(
+        ["point", "status", "fpu util", "region cycles", "mW",
+         "Gflop/s/W", "cache"],
+        summary_rows(campaign), title=title))
+
+    if baseline:
+        table = speedup_vs_baseline(campaign, baseline,
+                                    metric=args.metric)
+        if table:
+            rows = [[variant, round(entry["geomean"], 4),
+                     round(entry["geomean_pct"], 2), len(entry["ratios"])]
+                    for variant, entry in table.items()]
+            print()
+            print(format_table(
+                ["variant", f"geomean {args.metric} ratio", "gain %",
+                 "points"],
+                rows, title=f"vs. baseline {baseline!r}"))
+        else:
+            print(f"\nno successful points matched baseline "
+                  f"{baseline!r}; skipping comparison table")
+
+    hits = campaign.cached_count
+    simulated = len(campaign) - hits
+    failed = len(campaign.failed)
+    print(f"\n{len(campaign)} points: {hits} cache hits "
+          f"({100.0 * campaign.hit_rate:.0f}%), {simulated} simulated, "
+          f"{failed} failed, wall {campaign.seconds:.2f}s")
+
+    _maybe_write_json(args.json, {
+        "title": title,
+        "points": len(campaign),
+        "cache_hits": hits,
+        "failed": failed,
+        "seconds": round(campaign.seconds, 3),
+        "outcomes": [o.record() for o in campaign],
+    })
+    if args.csv:
+        _write_sweep_csv(args.csv, campaign)
+    return 0 if not failed else 1
+
+
+def _write_sweep_csv(path: str, campaign) -> None:
+    fields = ["kernel", "variant", "grid", "n", "loop_mode", "unroll",
+              "overrides", "status", "cached", "seconds", "cycles",
+              "region_cycles", "fpu_utilization", "power_mw", "gflops",
+              "gflops_per_watt"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for outcome in campaign:
+            point = outcome.point
+            res = outcome.result
+            writer.writerow([
+                point.kernel, point.variant,
+                "x".join(map(str, point.grid)) if point.grid else "",
+                point.n if point.n is not None else "",
+                point.loop_mode or "",
+                point.unroll if point.unroll is not None else "",
+                ";".join(f"{k}={v}" for k, v in point.overrides),
+                outcome.status, int(outcome.cached),
+                round(outcome.seconds, 4),
+                res.cycles if res else "",
+                res.region_cycles if res else "",
+                round(res.fpu_utilization, 6) if res else "",
+                round(res.power_mw, 3) if res else "",
+                round(res.gflops, 4) if res else "",
+                round(res.gflops_per_watt, 4) if res else "",
+            ])
 
 
 def cmd_list(args) -> int:
     print("kernels: " + ", ".join(kernel_names()))
     print("variants: " + ", ".join(v.label for v in VARIANT_ORDER))
     print("vecop variants: " + ", ".join(v.value for v in VecopVariant))
+    print("sweep presets: " + ", ".join(sorted(PRESETS)))
     return 0
 
 
@@ -206,7 +341,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("area", help="area-overhead estimate")
+    p.add_argument("--json")
     p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("sweep", help="run an experiment campaign")
+    p.add_argument("--preset", help="named campaign: "
+                   + ", ".join(sorted(PRESETS)))
+    p.add_argument("--spec", help="JSON/TOML sweep spec file")
+    p.add_argument("--cache-dir", default=".sweep-cache",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-simulate every point")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process count (default: all cores; 0/1: serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock budget in seconds")
+    p.add_argument("--baseline",
+                   help="variant label for geomean-vs-baseline table")
+    p.add_argument("--metric", default="region_cycles",
+                   help="metric for the baseline comparison")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
+    p.add_argument("--json")
+    p.add_argument("--csv")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("list", help="available kernels and variants")
     p.set_defaults(func=cmd_list)

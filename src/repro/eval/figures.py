@@ -21,11 +21,13 @@ from dataclasses import dataclass
 
 from repro.core.config import CoreConfig
 from repro.eval.report import geomean
-from repro.eval.runner import RunResult, run_build, run_stencil_variant
+from repro.eval.runner import RunResult
 from repro.kernels.layout import Grid3d
 from repro.kernels.registry import PAPER_KERNELS
 from repro.kernels.variants import VARIANT_ORDER, Variant
-from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.kernels.vecop import VecopVariant
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import VECOP_KERNEL, make_point
 
 #: Fig. 3 left panel (FPU utilization) as read from the paper.
 PAPER_FIG3_UTILIZATION = {
@@ -64,29 +66,34 @@ PAPER_CLAIMS = {
 
 
 def fig1_data(n: int = 256, loop_mode: str = "frep",
-              cfg: CoreConfig | None = None) -> dict[str, RunResult]:
-    """Fig. 1: the three vecop variants."""
-    out = {}
-    for variant in VecopVariant:
-        build = build_vecop(n=n, variant=variant, loop_mode=loop_mode,
-                            cfg=cfg)
-        out[variant.value] = run_build(build, cfg=cfg)
-    return out
+              cfg: CoreConfig | None = None,
+              workers: int | None = 0) -> dict[str, RunResult]:
+    """Fig. 1: the three vecop variants (via the sweep engine)."""
+    points = [make_point(VECOP_KERNEL, variant, n=n, loop_mode=loop_mode)
+              for variant in VecopVariant]
+    campaign = SweepRunner(workers=workers, base_cfg=cfg).run(points)
+    campaign.raise_on_failure()
+    return {o.point.variant: o.result for o in campaign.outcomes}
 
 
 def fig3_data(kernels: tuple[str, ...] = PAPER_KERNELS,
               variants: tuple[Variant, ...] = VARIANT_ORDER,
               cfg: CoreConfig | None = None,
               grids: dict[str, Grid3d] | None = None,
+              workers: int | None = 0,
               ) -> dict[tuple[str, str], RunResult]:
-    """Fig. 3: all (kernel, variant) points of the paper's evaluation."""
-    results = {}
-    for kernel in kernels:
-        for variant in variants:
-            grid = (grids or {}).get(kernel)
-            results[kernel, variant.label] = run_stencil_variant(
-                kernel, variant, grid=grid, cfg=cfg)
-    return results
+    """Fig. 3: all (kernel, variant) points, via the sweep engine.
+
+    The default ``workers=0`` runs serially in-process, which keeps the
+    results bit-identical to calling the eval runner in a loop; pass
+    ``workers=None`` (all cores) or an explicit count to fan out.
+    """
+    points = [make_point(kernel, variant, grid=(grids or {}).get(kernel))
+              for kernel in kernels for variant in variants]
+    campaign = SweepRunner(workers=workers, base_cfg=cfg).run(points)
+    campaign.raise_on_failure()
+    return {(o.point.kernel, o.point.variant): o.result
+            for o in campaign.outcomes}
 
 
 @dataclass

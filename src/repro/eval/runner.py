@@ -101,9 +101,10 @@ def run_build(build: KernelBuild, cfg: CoreConfig | None = None,
 def run_stencil_variant(kernel: str, variant: Variant,
                         grid: Grid3d | None = None,
                         cfg: CoreConfig | None = None,
-                        unroll: int = 4) -> RunResult:
+                        unroll: int = 4,
+                        max_cycles: int = 5_000_000) -> RunResult:
     """Convenience wrapper: build and run one paper data point."""
     spec, default_grid = get_stencil(kernel)
     build = build_stencil(spec, grid or default_grid, variant,
                           unroll=unroll, cfg=cfg)
-    return run_build(build, cfg=cfg)
+    return run_build(build, cfg=cfg, max_cycles=max_cycles)

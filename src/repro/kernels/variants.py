@@ -54,6 +54,16 @@ class Variant(Enum):
     def label(self) -> str:
         return self.value
 
+    @classmethod
+    def from_label(cls, label: str) -> "Variant":
+        """Case-insensitive lookup by paper label (``"Chaining+"`` ...)."""
+        for variant in cls:
+            if variant.label.lower() == str(label).lower():
+                return variant
+        options = ", ".join(v.label for v in cls)
+        raise ValueError(
+            f"unknown variant {label!r}; choose from: {options}")
+
 
 #: Paper plotting/reporting order.
 VARIANT_ORDER = (

@@ -1,0 +1,66 @@
+"""Experiment-campaign engine: declarative sweeps, parallel execution,
+content-addressed result caching, and aggregation.
+
+Quick start::
+
+    from repro.sweep import SweepSpec, SweepRunner
+
+    spec = SweepSpec(kernels=("box3d1r",), grids=((2, 4, 16), (4, 6, 32)),
+                     overrides=({"tcdm_banks": 16}, {"tcdm_banks": 32}))
+    campaign = SweepRunner(cache=".sweep-cache").run(spec)
+    for outcome in campaign.ok:
+        print(outcome.point.label, outcome.result.fpu_utilization)
+
+See ``docs/sweeps.md`` for the spec format and cache layout.
+"""
+
+from repro.sweep.aggregate import (
+    RESULT_METRICS,
+    best_points,
+    by_kernel_variant,
+    group_by,
+    speedup_vs_baseline,
+    summary_rows,
+)
+from repro.sweep.cache import ResultCache, point_key, result_from_record, \
+    result_to_record
+from repro.sweep.presets import PRESETS, preset_points
+from repro.sweep.runner import (
+    Campaign,
+    Outcome,
+    SweepRunner,
+    apply_overrides,
+    execute_point,
+)
+from repro.sweep.spec import (
+    Point,
+    SweepSpec,
+    VECOP_KERNEL,
+    make_point,
+    normalize_variant,
+)
+
+__all__ = [
+    "Campaign",
+    "Outcome",
+    "PRESETS",
+    "Point",
+    "RESULT_METRICS",
+    "ResultCache",
+    "SweepRunner",
+    "SweepSpec",
+    "VECOP_KERNEL",
+    "apply_overrides",
+    "best_points",
+    "by_kernel_variant",
+    "execute_point",
+    "group_by",
+    "make_point",
+    "normalize_variant",
+    "point_key",
+    "preset_points",
+    "result_from_record",
+    "result_to_record",
+    "speedup_vs_baseline",
+    "summary_rows",
+]

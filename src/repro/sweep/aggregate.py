@@ -1,0 +1,117 @@
+"""Aggregation over campaign outcomes: group-by, speedups, best configs.
+
+Everything here consumes the ``Outcome`` list a :class:`SweepRunner`
+returns and produces plain dicts/rows, reusing the evaluation layer's
+:func:`~repro.eval.report.geomean` (the same helper behind the paper's
+section III claims) so sweep-derived geomeans are computed identically
+to the figure harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.eval.report import geomean
+from repro.eval.runner import RunResult
+
+#: Metrics where smaller is better (everything else is maximized).
+LOWER_IS_BETTER = frozenset({"region_cycles", "cycles", "power_mw",
+                             "cycles_per_point"})
+
+#: Metric names resolvable on a RunResult (for early CLI validation).
+RESULT_METRICS = frozenset({
+    "cycles", "region_cycles", "fpu_utilization", "power_mw", "gflops",
+    "gflops_per_watt", "cycles_per_point",
+})
+
+
+def metric_of(result: RunResult, metric: str) -> float:
+    """Read a named metric off a result (attribute or property)."""
+    return float(getattr(result, metric))
+
+
+def group_by(outcomes: Iterable, key: Callable) -> dict:
+    """Group *successful* outcomes by ``key(outcome)``, order-preserving."""
+    groups: dict = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        groups.setdefault(key(outcome), []).append(outcome)
+    return groups
+
+
+def by_kernel_variant(outcomes: Iterable) -> dict[tuple[str, str], list]:
+    return group_by(outcomes, lambda o: (o.point.kernel, o.point.variant))
+
+
+def speedup_vs_baseline(outcomes: Iterable, baseline: str,
+                        metric: str = "region_cycles") -> dict[str, dict]:
+    """Per-variant ratios vs. ``baseline`` and their geomean over kernels.
+
+    Points are matched on everything except the variant (same kernel,
+    grid, overrides, ...), so ablation axes stay separated.  The
+    baseline label is matched case-insensitively (variant labels are
+    kind-ambiguous: ``"chaining"`` names both the vecop variant and the
+    stencil ``Chaining``).  For lower-is-better metrics the ratio is
+    baseline/variant (>1 means the variant wins), for higher-is-better
+    metrics variant/baseline.
+    """
+    invert = metric in LOWER_IS_BETTER
+    baseline = str(baseline).lower()
+
+    def is_baseline(outcome):
+        return outcome.point.variant.lower() == baseline
+
+    def match_key(outcome):
+        p = outcome.point
+        return (p.kernel, p.grid, p.n, p.loop_mode, p.unroll, p.overrides)
+
+    base_values = {
+        match_key(o): metric_of(o.result, metric)
+        for o in outcomes if o.ok and is_baseline(o)
+    }
+    table: dict[str, dict] = {}
+    for outcome in outcomes:
+        if not outcome.ok or is_baseline(outcome):
+            continue
+        base = base_values.get(match_key(outcome))
+        if base is None:
+            continue
+        value = metric_of(outcome.result, metric)
+        ratio = base / value if invert else value / base
+        entry = table.setdefault(outcome.point.variant, {"ratios": {}})
+        entry["ratios"][outcome.point.label] = ratio
+    for entry in table.values():
+        entry["geomean"] = geomean(entry["ratios"].values())
+        entry["geomean_pct"] = 100.0 * (entry["geomean"] - 1.0)
+    return table
+
+
+def best_points(outcomes: Iterable, metric: str = "fpu_utilization",
+                key: Callable | None = None) -> dict:
+    """Best outcome per group (default: per kernel) under ``metric``."""
+    key = key or (lambda o: o.point.kernel)
+    better = min if metric in LOWER_IS_BETTER else max
+    best: dict = {}
+    for group, members in group_by(outcomes, key).items():
+        best[group] = better(
+            members, key=lambda o: metric_of(o.result, metric))
+    return best
+
+
+def summary_rows(outcomes: Iterable) -> list[list]:
+    """Table rows (label, status, util, cycles, mW, Gflop/s/W, cached)."""
+    rows = []
+    for outcome in outcomes:
+        if outcome.ok:
+            res = outcome.result
+            rows.append([
+                outcome.point.label, outcome.status,
+                round(res.fpu_utilization, 3), res.region_cycles,
+                round(res.power_mw, 1), round(res.gflops_per_watt, 2),
+                "hit" if outcome.cached else "run",
+            ])
+        else:
+            rows.append([outcome.point.label, outcome.status,
+                         "-", "-", "-", "-", "-"])
+    return rows

@@ -1,0 +1,141 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Layout: one directory holding
+
+* ``results.jsonl`` -- append-only, one JSON record per completed point:
+  ``{"key", "version", "point", "seconds", "result"}``;
+* nothing else -- the key is content-derived, so the file needs no
+  compaction and concurrent *readers* are always safe.  The runner is
+  the single writer (workers return results to the parent process).
+
+The key is the SHA-256 of the canonicalized point, the package
+``__version__``, and the canonicalized base config (when one is in
+effect), so a version bump or a changed baseline configuration
+invalidates every entry without any explicit flush.  Only successful
+runs are cached; errors and timeouts are retried on the next campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+
+from repro.core.config import CoreConfig
+from repro.eval.runner import RunResult
+from repro.energy.model import EnergyReport
+from repro.sweep.spec import Point
+
+RESULTS_FILE = "results.jsonl"
+
+
+def config_canonical(cfg: CoreConfig | None) -> dict | None:
+    """Plain-type dict of a config, stable across processes."""
+    if cfg is None:
+        return None
+    data = {}
+    for f in dataclass_fields(cfg):
+        value = getattr(cfg, f.name)
+        if f.name == "fpu_latency":
+            value = {ic.name: lat for ic, lat in sorted(
+                value.items(), key=lambda item: item[0].name)}
+        data[f.name] = value
+    return data
+
+
+def point_key(point: Point, version: str,
+              base_cfg: CoreConfig | None = None) -> str:
+    """SHA-256 content address of one (point, version, base config)."""
+    payload = {
+        "point": point.canonical(),
+        "version": version,
+        "base_cfg": config_canonical(base_cfg),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def result_to_record(result: RunResult) -> dict:
+    """Full-fidelity JSON form of a :class:`RunResult`."""
+    return {
+        "name": result.name,
+        "correct": result.correct,
+        "cycles": result.cycles,
+        "region_cycles": result.region_cycles,
+        "fpu_utilization": result.fpu_utilization,
+        "energy": {
+            "total_pj": result.energy.total_pj,
+            "cycles": result.energy.cycles,
+            "clock_hz": result.energy.clock_hz,
+            "breakdown": dict(result.energy.breakdown),
+        },
+        "meta": result.meta,
+        "stalls": dict(result.stalls),
+    }
+
+
+def result_from_record(record: dict) -> RunResult:
+    energy = record["energy"]
+    return RunResult(
+        name=record["name"],
+        correct=record["correct"],
+        cycles=record["cycles"],
+        region_cycles=record["region_cycles"],
+        fpu_utilization=record["fpu_utilization"],
+        energy=EnergyReport(
+            total_pj=energy["total_pj"],
+            cycles=energy["cycles"],
+            clock_hz=energy["clock_hz"],
+            breakdown=dict(energy["breakdown"]),
+        ),
+        meta=dict(record.get("meta", {})),
+        stalls=dict(record.get("stalls", {})),
+    )
+
+
+class ResultCache:
+    """Keyed JSONL store; loads its index once, appends as results land."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.path = self.root / RESULTS_FILE
+        self._index: dict[str, dict] = {}
+        if self.path.exists():
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line from a killed run
+                    self._index[record["key"]] = record
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> RunResult | None:
+        record = self._index.get(key)
+        return result_from_record(record["result"]) if record else None
+
+    def get_record(self, key: str) -> dict | None:
+        return self._index.get(key)
+
+    def put(self, key: str, point: Point, result: RunResult,
+            seconds: float, version: str) -> None:
+        record = {
+            "key": key,
+            "version": version,
+            "point": point.canonical(),
+            "seconds": seconds,
+            "result": result_to_record(result),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index[key] = record

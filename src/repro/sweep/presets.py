@@ -1,0 +1,81 @@
+"""Canned campaigns: the paper's figures and the standing ablations.
+
+Each preset is a zero-argument factory returning ``(description,
+points)`` so the CLI (and tests) can run them by name.  Presets that are
+pure cartesian products are expressed as :class:`SweepSpec`; the depth
+ablation couples the vecop length to the pipeline depth (``n = 24 *
+(depth + 1)`` keeps the iteration count per accumulator constant), so it
+builds its point list directly.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.variants import VARIANT_ORDER
+from repro.kernels.vecop import VecopVariant
+from repro.sweep.spec import SweepSpec, VECOP_KERNEL, make_point
+
+#: Depth 7 is the frep limit: the chaining body holds 2*(depth+1)
+#: instructions and the sequencer buffer is 16 entries.
+ABLATION_DEPTHS = (1, 2, 3, 4, 5, 6)
+
+
+def fig3_spec() -> SweepSpec:
+    """The paper's Fig. 3 evaluation: 2 kernels x 5 variants."""
+    return SweepSpec(name="fig3")
+
+
+def smoke_spec() -> SweepSpec:
+    """Fast end-to-end exercise of both workload kinds (26 points)."""
+    return SweepSpec(
+        name="smoke",
+        kernels=("box3d1r", "j2d5pt", VECOP_KERNEL),
+        grids=((2, 4, 16), (4, 6, 32)),
+        ns=(64, 128),
+    )
+
+
+def depth_ablation_points() -> list:
+    """Chaining benefit vs. FPU pipeline depth (section II remark)."""
+    points = []
+    for depth in ABLATION_DEPTHS:
+        for variant in (VecopVariant.BASELINE, VecopVariant.CHAINING):
+            points.append(make_point(
+                VECOP_KERNEL, variant, n=24 * (depth + 1),
+                overrides={"fpu_depth": depth}))
+    return points
+
+
+def banking_spec() -> SweepSpec:
+    """TCDM banking sensitivity of the two paper kernels."""
+    return SweepSpec(
+        name="banking",
+        variants=tuple(VARIANT_ORDER),
+        grids=((2, 4, 16),),
+        overrides=({"tcdm_banks": 8}, {"tcdm_banks": 16},
+                   {"tcdm_banks": 32}),
+    )
+
+
+PRESETS = {
+    "fig3": ("Fig. 3: 2 paper kernels x 5 variants, default grids",
+             fig3_spec),
+    "smoke": ("fast 26-point mixed stencil/vecop campaign", smoke_spec),
+    "depth-ablation": ("chaining benefit vs. FPU pipeline depth 1..6",
+                       depth_ablation_points),
+    "banking": ("TCDM bank-count sensitivity, 8/16/32 banks",
+                banking_spec),
+}
+
+
+def preset_points(name: str) -> tuple[str, list]:
+    """Resolve a preset name to ``(description, points)``."""
+    try:
+        description, factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from: "
+            f"{', '.join(sorted(PRESETS))}") from None
+    produced = factory()
+    points = produced.points() if isinstance(produced, SweepSpec) \
+        else produced
+    return description, points

@@ -1,0 +1,359 @@
+"""Campaign execution: serial or process-parallel, with result caching.
+
+Each simulation is a single-threaded pure-Python :class:`Cluster` run, so
+fanning points out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+is a near-linear wall-clock win on multi-core hosts.  The parent process
+owns the cache; workers only compute and return picklable results, so
+there is exactly one writer and no lock file.
+
+Failure isolation: a point that raises is captured as an ``"error"``
+outcome with its traceback, and a broken pool marks the remaining
+points instead of raising.  One bad point cannot sink a campaign.
+
+The per-point ``timeout`` is enforced *inside* the executing process
+via ``SIGALRM`` (wall-clock, measured from the point's actual execution
+start -- queue wait behind slow siblings is never charged), so a
+timed-out worker survives and immediately picks up the next point.  A
+generous parent-side backstop still abandons workers that hang somewhere
+signals cannot reach.
+"""
+
+from __future__ import annotations
+
+import copy
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+
+from repro.core.config import CoreConfig
+from repro.eval.runner import RunResult, run_build, run_stencil_variant
+from repro.isa.instructions import InstrClass
+from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.sweep.cache import ResultCache, point_key, result_to_record
+from repro.sweep.spec import FPU_DEPTH_KEY, Point, SweepSpec
+
+DEFAULT_MAX_CYCLES = 5_000_000
+
+
+def apply_overrides(base_cfg: CoreConfig | None,
+                    overrides: tuple[tuple[str, object], ...],
+                    ) -> CoreConfig | None:
+    """Materialize a point's config; ``None`` when nothing is overridden.
+
+    Returning ``None`` (rather than a fresh default ``CoreConfig``) keeps
+    the un-overridden path byte-identical to calling the eval runner
+    directly.
+    """
+    if base_cfg is None and not overrides:
+        return None
+    cfg = copy.deepcopy(base_cfg) if base_cfg is not None else CoreConfig()
+    for key, value in overrides:
+        if key == FPU_DEPTH_KEY:
+            depth = int(value)
+            cfg.fpu_pipe_depth = depth
+            cfg.fpu_latency = dict(cfg.fpu_latency)
+            for iclass in (InstrClass.FP_ADD, InstrClass.FP_MUL,
+                           InstrClass.FP_FMA):
+                cfg.fpu_latency[iclass] = depth
+        else:
+            setattr(cfg, key, value)
+    cfg.validate()
+    return cfg
+
+
+def execute_point(point: Point, base_cfg: CoreConfig | None = None,
+                  max_cycles: int = DEFAULT_MAX_CYCLES) -> RunResult:
+    """Run one point to completion in this process."""
+    cfg = apply_overrides(base_cfg, point.overrides)
+    if point.is_vecop:
+        kwargs = {"variant": VecopVariant(point.variant), "cfg": cfg}
+        if point.n is not None:
+            kwargs["n"] = point.n
+        if point.loop_mode is not None:
+            kwargs["loop_mode"] = point.loop_mode
+        return run_build(build_vecop(**kwargs), cfg=cfg,
+                         max_cycles=max_cycles)
+    kwargs = {"grid": point.grid3d(), "cfg": cfg}
+    if point.unroll is not None:
+        kwargs["unroll"] = point.unroll
+    return run_stencil_variant(point.kernel, point.stencil_variant(),
+                               max_cycles=max_cycles, **kwargs)
+
+
+class _PointTimeout(Exception):
+    """Raised by the SIGALRM handler when a point's budget expires."""
+
+
+class _PoolWedged(Exception):
+    """A queued future can no longer start: its slot is held by an
+    abandoned (signal-immune) worker."""
+
+
+def _raise_point_timeout(signum, frame):
+    raise _PointTimeout()
+
+
+def _worker(point: Point, base_cfg: CoreConfig | None, max_cycles: int,
+            timeout: float | None = None) -> tuple[str, object, float]:
+    """Pool entry point: never raises, always returns a picklable triple.
+
+    The timeout alarm only engages on platforms with ``setitimer`` and
+    when running on the main thread (always true for pool workers);
+    elsewhere points simply run to completion.
+    """
+    start = time.perf_counter()
+    use_alarm = (timeout is not None and hasattr(signal, "setitimer")
+                 and threading.current_thread() is threading.main_thread())
+    old_handler = None
+    try:
+        if use_alarm:
+            old_handler = signal.signal(signal.SIGALRM,
+                                        _raise_point_timeout)
+            signal.setitimer(signal.ITIMER_REAL, max(timeout, 1e-6))
+        result = execute_point(point, base_cfg=base_cfg,
+                               max_cycles=max_cycles)
+        return "ok", result, time.perf_counter() - start
+    except _PointTimeout:
+        return "timeout", f"exceeded {timeout}s budget", \
+            time.perf_counter() - start
+    except Exception:
+        return "error", traceback.format_exc(), time.perf_counter() - start
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+@dataclass
+class Outcome:
+    """One point's fate in a campaign."""
+
+    point: Point
+    status: str                  # "ok" | "error" | "timeout"
+    result: RunResult | None = None
+    error: str | None = None
+    seconds: float = 0.0
+    cached: bool = False
+    key: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def record(self) -> dict:
+        """JSON-ready form (used by ``--json`` export)."""
+        return {
+            "point": self.point.canonical(),
+            "label": self.point.label,
+            "status": self.status,
+            "cached": self.cached,
+            "seconds": round(self.seconds, 4),
+            "error": self.error,
+            "result": result_to_record(self.result) if self.result else None,
+        }
+
+
+@dataclass
+class Campaign:
+    """All outcomes of one :meth:`SweepRunner.run`, in point order."""
+
+    outcomes: list[Outcome] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ok(self) -> list[Outcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> list[Outcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cached_count(self) -> int:
+        return sum(o.cached for o in self.outcomes)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached_count / len(self.outcomes) if self.outcomes \
+            else 0.0
+
+    def results(self) -> dict[Point, RunResult]:
+        """Point -> result for every successful outcome."""
+        return {o.point: o.result for o in self.outcomes if o.ok}
+
+    def raise_on_failure(self) -> None:
+        """Propagate the first failure (legacy serial-loop semantics)."""
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"sweep point {outcome.point.label} "
+                    f"{outcome.status}:\n{outcome.error or ''}")
+
+
+class SweepRunner:
+    """Executes campaigns of points with caching and process fan-out.
+
+    ``workers=None`` sizes the pool to the host's cores; ``workers<=1``
+    runs serially in-process (no pickling -- results are the very objects
+    the eval runner produced, which the figure harnesses rely on for
+    bit-identical reproduction).
+    """
+
+    def __init__(self, cache: ResultCache | str | None = None,
+                 workers: int | None = None,
+                 timeout: float | None = None,
+                 base_cfg: CoreConfig | None = None,
+                 max_cycles: int = DEFAULT_MAX_CYCLES):
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.workers = workers
+        self.timeout = timeout
+        self.base_cfg = base_cfg
+        self.max_cycles = max_cycles
+
+    def _version(self) -> str:
+        from repro import __version__
+        return __version__
+
+    def run(self, spec_or_points, progress=None) -> Campaign:
+        """Execute a :class:`SweepSpec` or an explicit list of points.
+
+        ``progress(outcome, done, total)`` is called as each outcome
+        lands (cache hits first, then live results in completion order).
+        """
+        if isinstance(spec_or_points, SweepSpec):
+            points = spec_or_points.points()
+        else:
+            points = list(spec_or_points)
+        start = time.perf_counter()
+        version = self._version()
+
+        outcomes: dict[int, Outcome] = {}
+        pending: list[tuple[int, Point, str | None]] = []
+        for index, point in enumerate(points):
+            key = None
+            if self.cache is not None:
+                key = point_key(point, version, self.base_cfg)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    outcomes[index] = Outcome(
+                        point=point, status="ok", result=cached,
+                        cached=True, key=key)
+                    continue
+            pending.append((index, point, key))
+
+        done = 0
+        if progress:
+            for index in sorted(outcomes):
+                done += 1
+                progress(outcomes[index], done, len(points))
+        done = len(outcomes)
+
+        if pending:
+            serial = self.workers is not None and self.workers <= 1
+            execute = self._run_serial if serial else self._run_parallel
+            for index, outcome in execute(pending):
+                outcomes[index] = outcome
+                if outcome.ok and not outcome.cached and \
+                        self.cache is not None:
+                    self.cache.put(outcome.key, outcome.point,
+                                   outcome.result, outcome.seconds,
+                                   version)
+                done += 1
+                if progress:
+                    progress(outcome, done, len(points))
+
+        ordered = [outcomes[i] for i in sorted(outcomes)]
+        return Campaign(outcomes=ordered,
+                        seconds=time.perf_counter() - start)
+
+    def _run_serial(self, pending):
+        for index, point, key in pending:
+            status, payload, seconds = _worker(point, self.base_cfg,
+                                               self.max_cycles,
+                                               self.timeout)
+            yield index, self._outcome(point, key, status, payload, seconds)
+
+    def _run_parallel(self, pending):
+        import os
+        workers = self.workers or os.cpu_count() or 1
+        workers = min(workers, len(pending))
+        executor = ProcessPoolExecutor(max_workers=workers)
+        futures = [(index, point, key,
+                    executor.submit(_worker, point, self.base_cfg,
+                                    self.max_cycles, self.timeout))
+                   for index, point, key in pending]
+        abandoned = False
+        try:
+            for index, point, key, future in futures:
+                try:
+                    status, payload, seconds = self._await(
+                        future, pool_wedged=abandoned)
+                except _PoolWedged:
+                    future.cancel()
+                    yield index, Outcome(
+                        point=point, status="timeout", key=key,
+                        error="never started: pool wedged behind a hung "
+                              "worker")
+                    continue
+                except FutureTimeout:
+                    future.cancel()
+                    abandoned = True
+                    yield index, Outcome(
+                        point=point, status="timeout", key=key,
+                        seconds=self.timeout or 0.0,
+                        error=f"exceeded {self.timeout}s budget")
+                    continue
+                except BrokenExecutor:
+                    yield index, Outcome(
+                        point=point, status="error", key=key,
+                        error="worker pool broke (worker died?)")
+                    continue
+                yield index, self._outcome(point, key, status, payload,
+                                           seconds)
+        finally:
+            # Abandoned workers may still be simulating; don't block on
+            # them, but reap cleanly when everything completed.
+            executor.shutdown(wait=not abandoned, cancel_futures=abandoned)
+
+    def _await(self, future, pool_wedged: bool = False):
+        """Wait for one future, with a hung-worker backstop.
+
+        The real budget is the worker's own SIGALRM; the backstop only
+        abandons workers stuck somewhere signals cannot interrupt.  The
+        clock starts once the future leaves the executor's queue
+        (prefetch makes that slightly early, which the 3x-plus-margin
+        absorbs), so points queued behind slow siblings are never
+        falsely charged.  Once a worker has been abandoned its pool slot
+        may never free, so the queue wait itself is then bounded too.
+        """
+        if self.timeout is None:
+            return future.result()
+        backstop = 3.0 * self.timeout + 30.0
+        start_deadline = time.monotonic() + backstop if pool_wedged \
+            else None
+        while not (future.running() or future.done()):
+            if start_deadline is not None and \
+                    time.monotonic() > start_deadline:
+                raise _PoolWedged()
+            time.sleep(0.005)
+        return future.result(timeout=backstop)
+
+    @staticmethod
+    def _outcome(point, key, status, payload, seconds) -> Outcome:
+        if status == "ok":
+            return Outcome(point=point, status="ok", result=payload,
+                           seconds=seconds, key=key)
+        return Outcome(point=point, status=status, error=payload,
+                       seconds=seconds, key=key)

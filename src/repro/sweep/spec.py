@@ -1,0 +1,345 @@
+"""Declarative sweep specifications and their expansion into points.
+
+A :class:`SweepSpec` describes an experiment campaign as axes (kernels,
+variants, grids, core-config overrides, ...) whose cartesian product is
+expanded into hashable, canonicalizable :class:`Point` dataclasses -- the
+unit of work the runner executes and the cache keys.
+
+Two workload kinds share one spec:
+
+* **stencil** kernels (every name in :data:`repro.kernels.registry.STENCILS`)
+  take the ``grids`` and ``unrolls`` axes;
+* the **vecop** pseudo-kernel (``kernel == "vecop"``, the paper's Fig. 1
+  vector op) takes the ``ns`` and ``loop_modes`` axes.
+
+Variants that do not apply to a kernel's kind are skipped during
+expansion, so one spec can mix both kinds; a variant name that matches
+*neither* kind is rejected as a typo.
+
+Config overrides are flat ``{field: value}`` dicts over the scalar
+:class:`~repro.core.config.CoreConfig` fields, plus the virtual key
+``fpu_depth`` which sets ``fpu_pipe_depth`` *and* the ADD/MUL/FMA
+latencies together (the knob of the depth ablation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+from repro.core.config import CoreConfig
+from repro.kernels.layout import Grid3d
+from repro.kernels.registry import PAPER_KERNELS, STENCILS
+from repro.kernels.variants import VARIANT_ORDER, Variant
+from repro.kernels.vecop import VecopVariant
+
+#: Pseudo-kernel name routing a point through the Fig. 1 vecop builder.
+VECOP_KERNEL = "vecop"
+
+#: Virtual override key: pipeline depth *and* ADD/MUL/FMA latency.
+FPU_DEPTH_KEY = "fpu_depth"
+
+#: CoreConfig fields a sweep may override (scalars only; the latency
+#: dict is reached through the ``fpu_depth`` virtual key).
+OVERRIDABLE_FIELDS = frozenset(
+    f.name for f in dataclass_fields(CoreConfig) if f.name != "fpu_latency"
+) | {FPU_DEPTH_KEY}
+
+_STENCIL_LABELS = {v.label.lower(): v.label for v in Variant}
+_VECOP_LABELS = {v.value.lower(): v.value for v in VecopVariant}
+
+
+def resolve_variant(variant, for_vecop: bool) -> str | None:
+    """Canonical label of ``variant`` within one workload kind, or
+    ``None`` if the spelling does not name a variant of that kind.
+
+    Case-insensitive; enum instances resolve only in their own kind.
+    Some spellings name a variant in *both* kinds (``"chaining"`` is the
+    vecop variant and, case-insensitively, the stencil ``Chaining``), so
+    resolution is always relative to a kernel's kind.
+    """
+    if isinstance(variant, Variant):
+        return variant.label if not for_vecop else None
+    if isinstance(variant, VecopVariant):
+        return variant.value if for_vecop else None
+    pool = _VECOP_LABELS if for_vecop else _STENCIL_LABELS
+    return pool.get(str(variant).lower())
+
+
+def normalize_variant(variant) -> str:
+    """Canonical label for any accepted variant spelling, any kind.
+
+    Ambiguous spellings resolve to the vecop label; use
+    :func:`resolve_variant` when the workload kind is known (matching
+    against canonical labels should be done case-insensitively).
+    """
+    label = resolve_variant(variant, for_vecop=True)
+    if label is None:
+        label = resolve_variant(variant, for_vecop=False)
+    if label is None:
+        options = list(_VECOP_LABELS.values()) + \
+            list(_STENCIL_LABELS.values())
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from: "
+            f"{', '.join(options)}")
+    return label
+
+
+def _normalize_grid(grid) -> tuple[int, ...] | None:
+    if grid is None:
+        return None
+    if isinstance(grid, Grid3d):
+        dims = (grid.nz, grid.ny, grid.nx)
+        return dims if grid.radius == 1 else dims + (grid.radius,)
+    dims = tuple(int(d) for d in grid)
+    if len(dims) not in (3, 4):
+        raise ValueError(f"grid must be (nz, ny, nx[, radius]), got {grid!r}")
+    return dims
+
+
+def _normalize_overrides(overrides) -> tuple[tuple[str, object], ...]:
+    if not overrides:
+        return ()
+    items = dict(overrides).items()
+    for key, value in items:
+        if key not in OVERRIDABLE_FIELDS:
+            raise ValueError(
+                f"unknown config override {key!r}; choose from: "
+                f"{', '.join(sorted(OVERRIDABLE_FIELDS))}")
+        if not isinstance(value, (bool, int, float)):
+            raise ValueError(
+                f"override {key}={value!r} must be a scalar")
+    return tuple(sorted(items))
+
+
+@dataclass(frozen=True)
+class Point:
+    """One fully-determined experiment: hashable, orderable, cacheable.
+
+    ``grid``/``unroll`` apply to stencil kernels, ``n``/``loop_mode`` to
+    the vecop pseudo-kernel; inapplicable fields stay ``None`` so the
+    canonical form is stable across spec spellings.
+    """
+
+    kernel: str
+    variant: str
+    grid: tuple[int, ...] | None = None
+    n: int | None = None
+    loop_mode: str | None = None
+    unroll: int | None = None
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def is_vecop(self) -> bool:
+        return self.kernel == VECOP_KERNEL
+
+    def grid3d(self) -> Grid3d | None:
+        if self.grid is None:
+            return None
+        nz, ny, nx = self.grid[:3]
+        radius = self.grid[3] if len(self.grid) > 3 else 1
+        return Grid3d(nz=nz, ny=ny, nx=nx, radius=radius)
+
+    def stencil_variant(self) -> Variant:
+        return Variant.from_label(self.variant)
+
+    def canonical(self) -> dict:
+        """Plain-type, key-sorted dict -- the content-address payload."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "grid": list(self.grid) if self.grid else None,
+            "n": self.n,
+            "loop_mode": self.loop_mode,
+            "unroll": self.unroll,
+            "overrides": [[k, v] for k, v in self.overrides],
+        }
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "Point":
+        return cls(
+            kernel=data["kernel"],
+            variant=data["variant"],
+            grid=tuple(data["grid"]) if data.get("grid") else None,
+            n=data.get("n"),
+            loop_mode=data.get("loop_mode"),
+            unroll=data.get("unroll"),
+            overrides=tuple((k, v) for k, v in data.get("overrides", ())),
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for progress/tables."""
+        parts = [f"{self.kernel}/{self.variant}"]
+        if self.grid:
+            parts.append("x".join(str(d) for d in self.grid))
+        if self.n is not None:
+            parts.append(f"n={self.n}")
+        if self.loop_mode:
+            parts.append(self.loop_mode)
+        if self.unroll is not None:
+            parts.append(f"unroll={self.unroll}")
+        parts.extend(f"{k}={v}" for k, v in self.overrides)
+        return " ".join(parts)
+
+
+def make_point(kernel: str, variant, grid=None, n=None, loop_mode=None,
+               unroll=None, overrides=None) -> Point:
+    """Validating :class:`Point` constructor accepting loose input types."""
+    kernel = str(kernel)
+    if kernel != VECOP_KERNEL and kernel not in STENCILS:
+        options = [VECOP_KERNEL, *STENCILS]
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from: {', '.join(options)}")
+    is_vecop = kernel == VECOP_KERNEL
+    label = resolve_variant(variant, for_vecop=is_vecop)
+    if label is None:
+        pool = _VECOP_LABELS if is_vecop else _STENCIL_LABELS
+        raise ValueError(
+            f"unknown variant {variant!r} for kernel {kernel!r}; "
+            f"choose from: {', '.join(pool.values())}")
+    # Inapplicable axes would create distinct cache keys (and labels)
+    # for identical simulations, so they are rejected outright.
+    if is_vecop and (grid is not None or unroll is not None):
+        raise ValueError(
+            f"kernel {kernel!r} takes n/loop_mode, not grid/unroll")
+    if not is_vecop and (n is not None or loop_mode is not None):
+        raise ValueError(
+            f"kernel {kernel!r} takes grid/unroll, not n/loop_mode")
+    return Point(
+        kernel=kernel,
+        variant=label,
+        grid=_normalize_grid(grid),
+        n=int(n) if n is not None else None,
+        loop_mode=str(loop_mode) if loop_mode is not None else None,
+        unroll=int(unroll) if unroll is not None else None,
+        overrides=_normalize_overrides(overrides),
+    )
+
+
+@dataclass
+class SweepSpec:
+    """Axes of a campaign; :meth:`points` expands the cartesian product.
+
+    ``variants=None`` means *all* variants applicable to each kernel's
+    kind.  Any ``None`` entry on the grid axis selects the kernel's
+    registry default grid; ``None`` on ``unrolls`` selects the builder
+    default.
+    """
+
+    name: str = "sweep"
+    kernels: tuple[str, ...] = PAPER_KERNELS
+    variants: tuple | None = None
+    grids: tuple = (None,)
+    ns: tuple = (None,)
+    loop_modes: tuple = (None,)
+    unrolls: tuple = (None,)
+    overrides: tuple = (None,)
+    meta: dict = field(default_factory=dict)
+
+    def _variant_labels(self, for_vecop: bool) -> list[str]:
+        if self.variants is None:
+            if for_vecop:
+                return [v.value for v in VecopVariant]
+            return [v.label for v in VARIANT_ORDER]
+        labels = []
+        for variant in self.variants:
+            label = resolve_variant(variant, for_vecop)
+            if label is not None and label not in labels:
+                labels.append(label)
+        return labels
+
+    def points(self) -> list[Point]:
+        """Expand, validate, and deduplicate (order-preserving)."""
+        for variant in self.variants or ():
+            normalize_variant(variant)  # reject outright typos eagerly
+        out: list[Point] = []
+        seen: set[Point] = set()
+        for kernel in self.kernels:
+            is_vecop = kernel == VECOP_KERNEL
+            labels = self._variant_labels(for_vecop=is_vecop)
+            for over in self.overrides:
+                for variant in labels:
+                    if is_vecop:
+                        for n in self.ns:
+                            for loop_mode in self.loop_modes:
+                                out.append(make_point(
+                                    kernel, variant, n=n,
+                                    loop_mode=loop_mode, overrides=over))
+                    else:
+                        for grid in self.grids:
+                            for unroll in self.unrolls:
+                                out.append(make_point(
+                                    kernel, variant, grid=grid,
+                                    unroll=unroll, overrides=over))
+        unique = []
+        for point in out:
+            if point not in seen:
+                seen.add(point)
+                unique.append(point)
+        return unique
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "kernels": list(self.kernels),
+            "grids": [list(g) if g else None for g in self.grids],
+            "ns": list(self.ns),
+            "loop_modes": list(self.loop_modes),
+            "unrolls": list(self.unrolls),
+            "overrides": [dict(o) if o else None for o in self.overrides],
+        }
+        if self.variants is not None:
+            data["variants"] = [normalize_variant(v) for v in self.variants]
+        if self.meta:
+            data["meta"] = dict(self.meta)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        known = {"name", "kernels", "variants", "grids", "ns",
+                 "loop_modes", "unrolls", "overrides", "meta"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown spec keys {sorted(unknown)}; "
+                f"allowed: {sorted(known)}")
+
+        def axis(key, default=(None,)):
+            # A JSON null (or absent key) on any axis means its default.
+            value = data.get(key)
+            if value is None:
+                return default
+            if isinstance(value, (str, bytes)):
+                raise ValueError(
+                    f"spec key {key!r} must be a list, got {value!r}")
+            return tuple(value)
+
+        spec = cls(
+            name=data.get("name") or "sweep",
+            kernels=axis("kernels", PAPER_KERNELS),
+            variants=axis("variants", None),
+            grids=tuple(tuple(g) if g else None
+                        for g in axis("grids")),
+            ns=axis("ns"),
+            loop_modes=axis("loop_modes"),
+            unrolls=axis("unrolls"),
+            overrides=axis("overrides"),
+            meta=dict(data.get("meta") or {}),
+        )
+        spec.points()  # validate eagerly so bad specs fail at load time
+        return spec
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        if str(path).endswith(".toml"):
+            import tomllib
+            with open(path, "rb") as handle:
+                data = tomllib.load(handle)
+        else:
+            with open(path) as handle:
+                data = json.load(handle)
+        return cls.from_dict(data)

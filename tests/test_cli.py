@@ -66,3 +66,115 @@ def test_area(capsys):
     out = capsys.readouterr().out
     assert "chaining overhead" in out
     assert "<2%" in out
+
+
+def test_area_json(tmp_path, capsys):
+    path = tmp_path / "area.json"
+    assert main(["area", "--json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert 0 < data["overhead_core_percent"] < 2.0
+    assert data["breakdown_kge"]
+
+
+def test_list_names_sweep_presets(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep presets:" in out
+    assert "smoke" in out
+
+
+SWEEP_SPEC = {
+    "name": "cli-smoke",
+    "kernels": ["vecop"],
+    "variants": ["baseline", "chaining"],
+    "ns": [16, 32],
+}
+
+
+def test_sweep_spec_file_cold_then_warm(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(SWEEP_SPEC))
+    cache = tmp_path / "cache"
+    out_json = tmp_path / "out.json"
+
+    rc = main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
+               "--workers", "0", "--json", str(out_json)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cli-smoke" in out
+    assert "0 cache hits" in out
+    data = json.loads(out_json.read_text())
+    assert data["points"] == 4
+    assert data["cache_hits"] == 0
+    assert all(o["status"] == "ok" for o in data["outcomes"])
+    assert (cache / "results.jsonl").exists()
+
+    rc = main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
+               "--workers", "0", "--json", str(out_json)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4 cache hits (100%)" in out
+    warm = json.loads(out_json.read_text())
+    assert warm["cache_hits"] == 4
+    cold_utils = [o["result"]["fpu_utilization"] for o in data["outcomes"]]
+    warm_utils = [o["result"]["fpu_utilization"] for o in warm["outcomes"]]
+    assert cold_utils == warm_utils
+
+
+def test_sweep_csv_and_baseline_table(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(SWEEP_SPEC))
+    out_csv = tmp_path / "out.csv"
+    rc = main(["sweep", "--spec", str(spec), "--no-cache", "--quiet",
+               "--workers", "0", "--baseline", "baseline",
+               "--csv", str(out_csv)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "vs. baseline 'baseline'" in out
+    lines = out_csv.read_text().strip().splitlines()
+    assert len(lines) == 1 + 4
+    assert lines[0].startswith("kernel,variant,grid")
+
+
+def test_sweep_failure_sets_exit_code(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "name": "bad", "kernels": ["vecop"], "variants": ["chaining"],
+        "ns": [16, 17],  # 17 is not a multiple of depth+1 -> error
+    }))
+    rc = main(["sweep", "--spec", str(spec), "--no-cache", "--quiet",
+               "--workers", "0"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "1 failed" in out
+
+
+def test_sweep_argument_validation(tmp_path):
+    with pytest.raises(SystemExit, match="exactly one"):
+        main(["sweep"])
+    with pytest.raises(SystemExit, match="unknown preset"):
+        main(["sweep", "--preset", "nope"])
+    with pytest.raises(SystemExit, match="bad spec"):
+        main(["sweep", "--spec", str(tmp_path / "missing.json")])
+    # Bad --baseline/--metric must fail BEFORE any simulation runs.
+    with pytest.raises(SystemExit, match="unknown variant"):
+        main(["sweep", "--preset", "fig3", "--baseline", "Turbo"])
+    with pytest.raises(SystemExit, match="unknown metric"):
+        main(["sweep", "--preset", "fig3", "--baseline", "Base",
+              "--metric", "region_cycle"])
+    # --metric is validated even without --baseline.
+    with pytest.raises(SystemExit, match="unknown metric"):
+        main(["sweep", "--preset", "fig3", "--metric", "bogus"])
+
+
+def test_sweep_baseline_is_case_insensitive(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "kernels": ["box3d1r"], "variants": ["Base", "Chaining+"],
+        "grids": [[2, 3, 8]],
+    }))
+    rc = main(["sweep", "--spec", str(spec), "--no-cache", "--quiet",
+               "--workers", "0", "--baseline", "base"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "vs. baseline 'Base'" in out  # normalized, not dropped

@@ -1,0 +1,121 @@
+"""Content-addressed cache: keys, JSONL round-trip, hit/miss behavior."""
+
+import json
+
+from repro import __version__
+from repro.core.config import CoreConfig
+from repro.sweep.cache import (
+    ResultCache,
+    point_key,
+    result_from_record,
+    result_to_record,
+)
+from repro.sweep.runner import SweepRunner, execute_point
+from repro.sweep.spec import make_point
+
+POINT = make_point("vecop", "chaining", n=16)
+
+
+def test_point_key_stability_and_sensitivity():
+    key = point_key(POINT, __version__)
+    assert key == point_key(POINT, __version__)
+    assert len(key) == 64
+    # Any ingredient change moves the address.
+    assert key != point_key(make_point("vecop", "chaining", n=32),
+                            __version__)
+    assert key != point_key(POINT, "0.0.0")
+    assert key != point_key(POINT, __version__, base_cfg=CoreConfig())
+
+
+def test_result_record_roundtrip_is_exact():
+    result = execute_point(POINT)
+    record = result_to_record(result)
+    json.dumps(record)  # must be JSON-clean
+    again = result_from_record(record)
+    assert again.cycles == result.cycles
+    assert again.region_cycles == result.region_cycles
+    assert again.fpu_utilization == result.fpu_utilization
+    assert again.energy.total_pj == result.energy.total_pj
+    assert again.energy.breakdown == result.energy.breakdown
+    assert again.power_mw == result.power_mw
+    assert again.gflops_per_watt == result.gflops_per_watt
+    assert again.stalls == result.stalls
+
+
+def test_cache_persists_across_instances(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    assert cache.get(key) is None
+    result = execute_point(POINT)
+    cache.put(key, POINT, result, seconds=0.1, version=__version__)
+    assert key in cache
+
+    reopened = ResultCache(tmp_path / "c")
+    assert len(reopened) == 1
+    assert reopened.get(key).cycles == result.cycles
+    record = reopened.get_record(key)
+    assert record["version"] == __version__
+    assert record["point"] == POINT.canonical()
+
+
+def test_cache_ignores_torn_tail_line(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache.put(key, POINT, execute_point(POINT), 0.1, __version__)
+    with open(cache.path, "a") as handle:
+        handle.write('{"key": "partial...')  # killed mid-append
+    reopened = ResultCache(tmp_path / "c")
+    assert len(reopened) == 1
+
+
+def test_progress_counter_increments_over_cache_hits(tmp_path):
+    points = [make_point("vecop", "baseline", n=n) for n in (16, 32, 48)]
+    SweepRunner(cache=tmp_path / "c", workers=0).run(points)
+    calls = []
+    SweepRunner(cache=tmp_path / "c", workers=0).run(
+        points, progress=lambda o, done, total: calls.append((done, total)))
+    assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_runner_hits_cache_across_invocations(tmp_path):
+    points = [make_point("vecop", variant, n=n)
+              for variant in ("baseline", "chaining")
+              for n in (16, 32)]
+    cold = SweepRunner(cache=tmp_path / "c", workers=0).run(points)
+    assert cold.cached_count == 0
+    assert all(o.ok for o in cold)
+
+    warm = SweepRunner(cache=tmp_path / "c", workers=0).run(points)
+    assert warm.cached_count == len(points)
+    assert warm.hit_rate == 1.0
+    for a, b in zip(cold, warm):
+        assert b.cached and not a.cached
+        assert a.point == b.point
+        assert a.result.region_cycles == b.result.region_cycles
+        assert a.result.fpu_utilization == b.result.fpu_utilization
+
+    # Extending the sweep only simulates the new points.
+    extended = points + [make_point("vecop", "unrolled", n=16)]
+    third = SweepRunner(cache=tmp_path / "c", workers=0).run(extended)
+    assert third.cached_count == len(points)
+    assert len(third) == len(points) + 1
+
+
+def test_base_cfg_partitions_the_cache(tmp_path):
+    cache_dir = tmp_path / "c"
+    plain = SweepRunner(cache=cache_dir, workers=0).run([POINT])
+    tweaked = SweepRunner(cache=cache_dir, workers=0,
+                          base_cfg=CoreConfig(fp_queue_depth=2)) \
+        .run([POINT])
+    assert plain.cached_count == 0
+    assert tweaked.cached_count == 0  # different key despite same point
+    assert len(ResultCache(cache_dir)) == 2
+
+
+def test_failures_are_not_cached(tmp_path):
+    bad = make_point("box3d1r", "Base", grid=(2, 3, 8),
+                     overrides={"fpu_pipe_depth": -1})  # fails validate()
+    first = SweepRunner(cache=tmp_path / "c", workers=0).run([bad])
+    assert first.outcomes[0].status == "error"
+    second = SweepRunner(cache=tmp_path / "c", workers=0).run([bad])
+    assert second.cached_count == 0  # retried, not replayed
