@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark wall-clock regressions.
+
+Compares a fresh pytest-benchmark JSON report against the checked-in
+baseline (``benchmarks/BASELINE.json``) and fails when a gated
+benchmark got more than ``--threshold`` slower.
+
+Raw seconds are not comparable across runner generations, so both sides
+are normalized by a *calibration* measurement: a small, fixed,
+deterministic simulator workload timed on the current machine at check
+time and recorded in the baseline at update time.  The comparison is
+then ``current / (baseline * cal_now / cal_baseline)``.
+
+Refresh the baseline (after an intentional perf change, from a quiet
+machine) with::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=bench.json
+    python scripts/check_bench_regression.py --current bench.json \
+        --baseline benchmarks/BASELINE.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Benchmarks gated by default (regex fragments matched against names).
+GATED = ("fastpath", "fig1", "vecop_wallclock")
+
+
+def calibrate(rounds: int = 5) -> float:
+    """Seconds for a fixed scalar-engine simulation (best of rounds).
+
+    The workload must be big enough to dominate interpreter startup
+    jitter; the best-of keeps scheduler noise out of the scale factor.
+    """
+    from repro.core.cluster import Cluster
+    from repro.core.config import CoreConfig
+    from repro.kernels.vecop import VecopVariant, build_vecop
+
+    best = float("inf")
+    for _ in range(rounds):
+        cfg = CoreConfig(engine="scalar")
+        build = build_vecop(n=1024, variant=VecopVariant.CHAINING,
+                            cfg=cfg)
+        cluster = Cluster(build.asm, cfg=cfg, symbols=build.symbols)
+        build.load_into(cluster)
+        start = time.perf_counter()
+        cluster.run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def load_current(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    out = {}
+    for bench in data.get("benchmarks", []):
+        out[bench["name"]] = bench["stats"]["median"]
+    return out
+
+
+def gated(names, patterns) -> list[str]:
+    return [n for n in names if any(p in n for p in patterns)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="pytest-benchmark JSON of this run")
+    parser.add_argument("--baseline", default="benchmarks/BASELINE.json")
+    parser.add_argument("--threshold", type=float, default=1.2,
+                        help="max allowed slowdown ratio (default 1.2 "
+                             "= 20%%)")
+    parser.add_argument("--select", action="append", default=None,
+                        help="gate benchmarks whose name contains this "
+                             "(repeatable; default: fastpath, fig1)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from --current")
+    args = parser.parse_args(argv)
+
+    current = load_current(Path(args.current))
+    patterns = tuple(args.select) if args.select else GATED
+    cal = calibrate()
+
+    if args.update:
+        names = gated(current, patterns)
+        baseline = {
+            "calibration_seconds": round(cal, 6),
+            "threshold": args.threshold,
+            "benchmarks": {n: round(current[n], 6) for n in sorted(names)},
+        }
+        Path(args.baseline).write_text(json.dumps(baseline, indent=2)
+                                       + "\n")
+        print(f"baseline updated: {len(names)} benchmarks, "
+              f"calibration {cal * 1e3:.2f} ms")
+        return 0
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    scale = cal / baseline["calibration_seconds"]
+    print(f"calibration: baseline "
+          f"{baseline['calibration_seconds'] * 1e3:.2f} ms, here "
+          f"{cal * 1e3:.2f} ms -> scale {scale:.2f}x")
+
+    failures = []
+    for name, base_median in sorted(baseline["benchmarks"].items()):
+        if name not in current:
+            print(f"  MISSING  {name} (in baseline, not in this run)")
+            failures.append(name)
+            continue
+        allowed = base_median * scale * args.threshold
+        ratio = current[name] / (base_median * scale)
+        verdict = "ok" if current[name] <= allowed else "REGRESSION"
+        print(f"  {verdict:10s} {name}: {current[name] * 1e3:8.2f} ms "
+              f"vs scaled baseline {base_median * scale * 1e3:8.2f} ms "
+              f"({ratio:.2f}x)")
+        if current[name] > allowed:
+            failures.append(name)
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.2f}x: {', '.join(failures)}")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

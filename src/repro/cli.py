@@ -209,7 +209,8 @@ def cmd_sweep(args) -> int:
 
     runner = SweepRunner(
         cache=None if args.no_cache else args.cache_dir,
-        workers=args.workers, timeout=args.timeout)
+        workers=args.workers, timeout=args.timeout,
+        engine=args.engine)
 
     def progress(outcome, done, total):
         if not args.quiet:
@@ -356,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process count (default: all cores; 0/1: serial)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-point wall-clock budget in seconds")
+    p.add_argument("--engine", choices=("auto", "fast", "scalar"),
+                   default=None,
+                   help="execution engine for every point (bit-identical "
+                        "results; 'fast' vectorizes eligible FREP/SSR "
+                        "regions, 'scalar' is the cycle-by-cycle "
+                        "reference, default: config's own choice); "
+                        "part of the result-cache key")
     p.add_argument("--baseline",
                    help="variant label for geomean-vs-baseline table")
     p.add_argument("--metric", default="region_cycles",

@@ -78,6 +78,55 @@ class Cluster:
         if trace is not None and hasattr(trace, "attach"):
             trace.attach(self.fp)
         self.cycle = 0
+        # Vectorized FREP/SSR fast path (repro.core.fastpath): attached
+        # to core 0, engaged only when the detector proves a hardware
+        # loop safe.  Tracing needs every per-issue event, so "auto"
+        # silently stays scalar under a trace; "fast" makes that an
+        # error instead.
+        self.fastpath = None
+        if self.cfg.engine != "scalar":
+            if trace is not None:
+                if self.cfg.engine == "fast":
+                    raise ValueError(
+                        "engine='fast' cannot be combined with tracing; "
+                        "use engine='auto' or engine='scalar'")
+            else:
+                from repro.core.fastpath import FastPathEngine
+
+                self.fastpath = FastPathEngine(self)
+
+    def load_program(self, program: Program | str,
+                     symbols: dict[str, int] | None = None) -> None:
+        """Swap in a new program and restart every core at its base.
+
+        Re-encodes the image into memory in binary-fetch mode and
+        invalidates the cores' decode caches (see
+        :meth:`~repro.core.int_core.IntCore.load_program`); data memory
+        and cycle/statistics counters are left untouched.
+
+        The decoupled units must have drained first: a swap with a
+        buffered FREP body, queued FP work or an armed unfinished
+        stream would keep executing the *old* program's work against
+        the new one, so that is rejected outright.
+        """
+        for fp in self.fps:
+            if not fp.idle or not fp.streamers_done():
+                raise RuntimeError(
+                    "load_program while the FP subsystem or an SSR "
+                    "stream is still busy; run the old program to "
+                    "completion first")
+        if not self.dma.idle:
+            raise RuntimeError("load_program while a DMA transfer is "
+                               "in flight")
+        if isinstance(program, str):
+            program = assemble(program, symbols=symbols)
+        self.program = program
+        if self.cfg.fetch_from_memory:
+            self._install_program_image()
+        for core in self.cores:
+            core.load_program(program)
+        if self.fastpath is not None:
+            self.fastpath._reset()
 
     def _install_program_image(self) -> None:
         """Encode the program into memory for binary-fetch mode."""
@@ -144,6 +193,8 @@ class Cluster:
         self.tcdm.arbitrate()
         self.cycle += 1
         self.perf.cycles = self.cycle
+        if self.fastpath is not None:
+            self.fastpath.observe()
 
     def run(self, max_cycles: int = 5_000_000) -> PerfCounters:
         """Run to completion; returns the performance counters."""

@@ -82,6 +82,22 @@ class CoreConfig:
     #: conservatively delayed, costing a bubble per wrap-around.
     chain_concurrent_push_pop: bool = True
 
+    #: Execution engine for FREP/SSR steady-state regions:
+    #:
+    #: * ``"auto"`` (default) -- use the vectorized fast path
+    #:   (:mod:`repro.core.fastpath`) whenever a hardware-loop region
+    #:   proves eligible, silently falling back to the cycle-by-cycle
+    #:   scalar model otherwise (and whenever a trace recorder is
+    #:   attached, since the fast path skips per-issue events);
+    #: * ``"fast"`` -- same engine, but attaching a trace recorder is an
+    #:   error instead of a silent fallback;
+    #: * ``"scalar"`` -- never engage the fast path (the reference model).
+    #:
+    #: All engines are bit-identical in every architecturally visible
+    #: quantity: results, cycle counts, perf counters, stall breakdowns,
+    #: SSR/TCDM traffic statistics and therefore energy.
+    engine: str = "auto"
+
     #: Clock frequency used to convert cycles to time and energy to power.
     clock_hz: float = 1.0e9
 
@@ -102,3 +118,7 @@ class CoreConfig:
         for iclass, lat in self.fpu_latency.items():
             if lat < 1:
                 raise ValueError(f"latency of {iclass} must be >= 1")
+        if self.engine not in ("auto", "fast", "scalar"):
+            raise ValueError(
+                f"engine must be 'auto', 'fast' or 'scalar', got "
+                f"{self.engine!r}")

@@ -147,3 +147,14 @@ class FpuPipe:
     def retire_head(self) -> InFlightOp:
         """Remove and return the head op (after an accepted writeback)."""
         return self.in_flight.popleft()
+
+    def shift_time(self, cycles: int) -> None:
+        """Translate every in-flight completion time by ``cycles``.
+
+        Fast-path hook: after a batch fast-forward the pipe holds the
+        same ops at the same relative depths, just ``cycles`` later (the
+        caller replaces their values separately).
+        """
+        for op in self.in_flight:
+            op.completes_at += cycles
+        self._last_completion += cycles

@@ -102,6 +102,23 @@ class IntCore:
 
     # -- helpers ---------------------------------------------------------------
 
+    def load_program(self, program: Program) -> None:
+        """Point the core at a (new) program and reset its control state.
+
+        The per-PC decoded-instruction cache is keyed by address only,
+        so it *must* be invalidated here: reusing a core with a new
+        binary at the same addresses would otherwise execute stale
+        instructions from the previous image.
+        """
+        self.program = program
+        self.pc = program.base
+        self.halted = False
+        self.stall_until = 0
+        self.waiting_sync = None
+        self.barrier_wait = False
+        self._pending_load_rd = None
+        self._decode_cache.clear()
+
     def _fetch(self) -> Instr | None:
         index = (self.pc - self.program.base) // 4
         if not 0 <= index < len(self.program.instrs):

@@ -57,6 +57,22 @@ class PerfCounters:
     def stall(self, reason: StallReason) -> None:
         self.stalls[reason] += 1
 
+    def counter_state(self) -> tuple[dict[str, int], dict[StallReason, int]]:
+        """Plain-dict copies of all counters and stall buckets.
+
+        Used by the fast path to measure per-period deltas; cheap enough
+        to take once per candidate steady-state sample.
+        """
+        return dict(self.counters), dict(self.stalls)
+
+    def add_scaled(self, counter_delta: dict[str, int],
+                   stall_delta: dict[StallReason, int], times: int) -> None:
+        """Apply ``times`` repetitions of a measured per-period delta."""
+        for name, amount in counter_delta.items():
+            self.counters[name] += times * amount
+        for reason, amount in stall_delta.items():
+            self.stalls[reason] += times * amount
+
     def mark(self, mark_id: int) -> None:
         """Snapshot all counters under ``mark_id``."""
         snap = Snapshot(self.cycles, dict(self.counters))

@@ -79,6 +79,55 @@ class Sequencer:
     def frep_active(self) -> bool:
         return self._active
 
+    @property
+    def body_len(self) -> int:
+        """Instructions in the active FREP body."""
+        return self._body_len
+
+    @property
+    def iters(self) -> int:
+        """Repetition count of the active FREP."""
+        return self._iters
+
+    @property
+    def position(self) -> int:
+        """Body-instruction instances issued since the FREP began."""
+        return self._pos
+
+    @property
+    def inner(self) -> bool:
+        """True for ``frep.i`` (per-instruction repetition)."""
+        return self._inner
+
+    @property
+    def staggered(self) -> bool:
+        """True when register staggering is in effect."""
+        return bool(self._stagger_mask and self._stagger_max)
+
+    @property
+    def body_buffered(self) -> bool:
+        """True once the whole body sits in the replay buffer."""
+        return self._active and len(self._buffer) == self._body_len
+
+    def body_entries(self) -> list[DispatchedEntry]:
+        """The buffered body (fast-path analysis hook)."""
+        return list(self._buffer)
+
+    def jump_to(self, position: int) -> None:
+        """Teleport the replay engine (fast-path hook).
+
+        Only forward jumps within the active region are meaningful; the
+        caller is responsible for having advanced all dependent state
+        (FPU pipe, streams, counters) consistently.
+        """
+        if not self._active:
+            raise RuntimeError("jump_to without an active frep")
+        if not self._pos <= position < self._body_len * self._iters:
+            raise ValueError(
+                f"jump_to({position}) outside active frep of "
+                f"{self._body_len * self._iters} instances")
+        self._pos = position
+
     def begin_frep(self, entry: DispatchedEntry) -> None:
         """Consume a ``frep`` instruction and arm the replay engine."""
         if self._active:

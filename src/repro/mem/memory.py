@@ -114,6 +114,38 @@ class Memory:
                              dtype=dtype)
         return flat.reshape(shape).copy()
 
+    def _f64_view(self) -> np.ndarray:
+        """Writable float64 view of the whole backing store."""
+        return np.frombuffer(memoryview(self._data), dtype=np.float64)
+
+    def _check_f64_addrs(self, addrs: np.ndarray) -> None:
+        if addrs.size == 0:
+            return
+        lo = int(addrs.min())
+        hi = int(addrs.max())
+        if lo < 0 or hi + 8 > self.size:
+            raise MemoryError_(
+                f"gather/scatter address {hi:#x} outside memory of size "
+                f"{self.size:#x}")
+        if np.any(addrs & 7):
+            raise MemoryError_("misaligned 8-byte address in gather/scatter")
+
+    def gather_f64(self, addrs) -> np.ndarray:
+        """Read one float64 per (8-aligned) byte address, vectorized."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        self._check_f64_addrs(addrs)
+        return self._f64_view()[addrs >> 3].copy()
+
+    def scatter_f64(self, addrs, values) -> None:
+        """Write one float64 per (8-aligned) byte address, vectorized.
+
+        Duplicate addresses resolve to the last occurrence, matching a
+        sequential store loop.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        self._check_f64_addrs(addrs)
+        self._f64_view()[addrs >> 3] = np.asarray(values, dtype=np.float64)
+
     def fill(self, addr: int, nbytes: int, byte: int = 0) -> None:
         """Fill ``nbytes`` bytes starting at ``addr`` with ``byte``."""
         if addr < 0 or addr + nbytes > self.size:

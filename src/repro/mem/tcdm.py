@@ -144,6 +144,16 @@ class Tcdm:
         self._ports.append(p)
         return p
 
+    @property
+    def ports(self) -> tuple[TcdmPort, ...]:
+        """All registered requester ports, in registration order."""
+        return tuple(self._ports)
+
+    @property
+    def interleave_bytes(self) -> int:
+        """Bytes after which the bank pattern repeats."""
+        return self.num_banks * self.bank_width
+
     def bank_of(self, addr: int) -> int:
         """Bank index serving byte address ``addr``."""
         return (addr // self.bank_width) % self.num_banks

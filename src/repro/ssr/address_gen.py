@@ -14,7 +14,44 @@ against numpy index arithmetic in the property tests.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.ssr.config import SsrConfig
+
+
+def affine_addresses(cfg: SsrConfig, indices) -> np.ndarray:
+    """Addresses of stream elements ``indices`` (vectorized, no state).
+
+    Element ``i`` of an affine stream sits at
+    ``base + sum_d digit_d(i) * stride_d`` where the digits are ``i``
+    decomposed in the mixed radix of the loop-nest bounds (dimension 0
+    innermost) -- exactly the address :class:`AffineGenerator` yields on
+    its ``i``-th :meth:`~AffineGenerator.next`.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    addr = np.full(idx.shape, cfg.base, dtype=np.int64)
+    radix = 1
+    for d in range(cfg.ndims):
+        addr += (idx // radix) % cfg.bounds[d] * cfg.strides[d]
+        radix *= cfg.bounds[d]
+    return addr
+
+
+def affine_addr_range(cfg: SsrConfig) -> tuple[int, int]:
+    """Inclusive ``[lo, hi]`` byte range the whole affine stream touches.
+
+    Each dimension contributes ``(bound - 1) * stride`` at its extreme;
+    negative strides extend the range downward.  ``hi`` covers the full
+    64-bit element at the highest base address.
+    """
+    lo = hi = cfg.base
+    for d in range(cfg.ndims):
+        extent = (cfg.bounds[d] - 1) * cfg.strides[d]
+        if extent >= 0:
+            hi += extent
+        else:
+            lo += extent
+    return lo, hi + 7
 
 
 class AffineGenerator:
@@ -55,6 +92,29 @@ class AffineGenerator:
                 break
             self._idx[d] = 0
         return addr
+
+    @property
+    def position(self) -> int:
+        """Elements yielded so far (0 .. total_elements)."""
+        return self.cfg.total_elements() - self._remaining
+
+    def jump_to(self, position: int) -> None:
+        """Teleport the walker so the next element is ``position``.
+
+        Used by the fast path to retire a whole batch of elements at
+        once; the resulting state is exactly what ``position`` calls of
+        :meth:`next` would have left behind (including the all-zeros
+        digit wrap at exhaustion).
+        """
+        total = self.cfg.total_elements()
+        if not 0 <= position <= total:
+            raise ValueError(
+                f"jump_to({position}) outside stream of {total} elements")
+        self._remaining = total - position
+        rem = position
+        for d in range(self.cfg.ndims):
+            self._idx[d] = rem % self.cfg.bounds[d]
+            rem //= self.cfg.bounds[d]
 
     def all_addresses(self) -> list[int]:
         """Exhaust the generator and return every address (testing aid)."""

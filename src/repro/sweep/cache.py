@@ -45,12 +45,21 @@ def config_canonical(cfg: CoreConfig | None) -> dict | None:
 
 
 def point_key(point: Point, version: str,
-              base_cfg: CoreConfig | None = None) -> str:
-    """SHA-256 content address of one (point, version, base config)."""
+              base_cfg: CoreConfig | None = None,
+              engine: str | None = None) -> str:
+    """SHA-256 content address of one (point, version, base config,
+    execution engine).
+
+    The engine never changes the simulated numbers (fast and scalar are
+    bit-identical by contract), but it *is* part of the key: a cache
+    entry must always say which engine produced it, so an engine-choice
+    bug can be bisected from cached campaigns alone.
+    """
     payload = {
         "point": point.canonical(),
         "version": version,
         "base_cfg": config_canonical(base_cfg),
+        "engine": engine or (base_cfg.engine if base_cfg else "auto"),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

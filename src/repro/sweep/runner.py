@@ -66,9 +66,22 @@ def apply_overrides(base_cfg: CoreConfig | None,
 
 
 def execute_point(point: Point, base_cfg: CoreConfig | None = None,
-                  max_cycles: int = DEFAULT_MAX_CYCLES) -> RunResult:
-    """Run one point to completion in this process."""
+                  max_cycles: int = DEFAULT_MAX_CYCLES,
+                  engine: str | None = None) -> RunResult:
+    """Run one point to completion in this process.
+
+    ``engine`` (``"auto"``/``"fast"``/``"scalar"``) overrides the
+    config's execution-engine selection; ``None`` (and the default
+    ``"auto"``) leaves the un-overridden path byte-identical to calling
+    the eval runner directly.
+    """
     cfg = apply_overrides(base_cfg, point.overrides)
+    point_engine = dict(point.overrides).get("engine")
+    if engine is not None and point_engine is None:
+        if engine != "auto" or (cfg is not None and cfg.engine != "auto"):
+            cfg = cfg or CoreConfig()
+            cfg.engine = engine
+            cfg.validate()
     if point.is_vecop:
         kwargs = {"variant": VecopVariant(point.variant), "cfg": cfg}
         if point.n is not None:
@@ -98,7 +111,8 @@ def _raise_point_timeout(signum, frame):
 
 
 def _worker(point: Point, base_cfg: CoreConfig | None, max_cycles: int,
-            timeout: float | None = None) -> tuple[str, object, float]:
+            timeout: float | None = None,
+            engine: str | None = None) -> tuple[str, object, float]:
     """Pool entry point: never raises, always returns a picklable triple.
 
     The timeout alarm only engages on platforms with ``setitimer`` and
@@ -115,7 +129,7 @@ def _worker(point: Point, base_cfg: CoreConfig | None, max_cycles: int,
                                         _raise_point_timeout)
             signal.setitimer(signal.ITIMER_REAL, max(timeout, 1e-6))
         result = execute_point(point, base_cfg=base_cfg,
-                               max_cycles=max_cycles)
+                               max_cycles=max_cycles, engine=engine)
         return "ok", result, time.perf_counter() - start
     except _PointTimeout:
         return "timeout", f"exceeded {timeout}s budget", \
@@ -213,14 +227,22 @@ class SweepRunner:
                  workers: int | None = None,
                  timeout: float | None = None,
                  base_cfg: CoreConfig | None = None,
-                 max_cycles: int = DEFAULT_MAX_CYCLES):
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 engine: str | None = None):
         if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
             cache = ResultCache(cache)
+        if engine is not None and engine not in ("auto", "fast", "scalar"):
+            raise ValueError(
+                f"engine must be 'auto', 'fast' or 'scalar', got "
+                f"{engine!r}")
         self.cache = cache
         self.workers = workers
         self.timeout = timeout
         self.base_cfg = base_cfg
         self.max_cycles = max_cycles
+        #: Campaign-wide engine selection; a per-point ``("engine", ...)``
+        #: override still wins.  Part of every cache key.
+        self.engine = engine
 
     def _version(self) -> str:
         from repro import __version__
@@ -244,7 +266,8 @@ class SweepRunner:
         for index, point in enumerate(points):
             key = None
             if self.cache is not None:
-                key = point_key(point, version, self.base_cfg)
+                key = point_key(point, version, self.base_cfg,
+                                engine=self.engine)
                 cached = self.cache.get(key)
                 if cached is not None:
                     outcomes[index] = Outcome(
@@ -282,7 +305,7 @@ class SweepRunner:
         for index, point, key in pending:
             status, payload, seconds = _worker(point, self.base_cfg,
                                                self.max_cycles,
-                                               self.timeout)
+                                               self.timeout, self.engine)
             yield index, self._outcome(point, key, status, payload, seconds)
 
     def _run_parallel(self, pending):
@@ -292,7 +315,8 @@ class SweepRunner:
         executor = ProcessPoolExecutor(max_workers=workers)
         futures = [(index, point, key,
                     executor.submit(_worker, point, self.base_cfg,
-                                    self.max_cycles, self.timeout))
+                                    self.max_cycles, self.timeout,
+                                    self.engine))
                    for index, point, key in pending]
         abandoned = False
         try:

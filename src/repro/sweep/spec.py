@@ -106,7 +106,12 @@ def _normalize_overrides(overrides) -> tuple[tuple[str, object], ...]:
             raise ValueError(
                 f"unknown config override {key!r}; choose from: "
                 f"{', '.join(sorted(OVERRIDABLE_FIELDS))}")
-        if not isinstance(value, (bool, int, float)):
+        if key == "engine":
+            if value not in ("auto", "fast", "scalar"):
+                raise ValueError(
+                    f"override engine={value!r} must be 'auto', 'fast' "
+                    f"or 'scalar'")
+        elif not isinstance(value, (bool, int, float)):
             raise ValueError(
                 f"override {key}={value!r} must be a scalar")
     return tuple(sorted(items))

@@ -75,3 +75,48 @@ def test_relocated_program_base():
     cluster = Cluster(prog, cfg=cfg)
     cluster.run()
     assert cluster.mem.read_u32(0x2000) == 99
+
+
+def test_program_reload_invalidates_decode_cache():
+    """Regression: the per-PC decode cache must not survive a program
+    (re)load -- a reused core would otherwise execute instructions of
+    the *previous* binary from the stale cache."""
+    cfg = CoreConfig(fetch_from_memory=True)
+    cluster = Cluster("""
+    li a0, 11
+    li t6, 0x2000
+    sw a0, 0(t6)
+    ebreak
+""", cfg=cfg)
+    cluster.run()
+    assert cluster.mem.read_u32(0x2000) == 11
+
+    # Program A's decoded words are cached per PC at this point.
+    assert cluster.core._decode_cache
+    cluster.load_program("""
+    li a0, 22
+    li t6, 0x2004
+    sw a0, 0(t6)
+    ebreak
+""")
+    # The reload must have dropped them -- a stale cache would make the
+    # second run re-execute the first program (writing 11 to 0x2000
+    # again and nothing to 0x2004).
+    assert cluster.core._decode_cache == {}
+    cluster.run(max_cycles=cluster.cycle + 1000)
+    assert cluster.mem.read_u32(0x2004) == 22
+
+
+def test_program_reload_refuses_undrained_fp_work():
+    """Swapping binaries with a buffered FREP body / armed streams
+    still in flight would execute the old program's work against the
+    new one; the reload API must refuse."""
+    cfg = CoreConfig(fetch_from_memory=True)
+    build = build_vecop(n=64, variant=VecopVariant.CHAINING, cfg=cfg)
+    cluster = Cluster(build.asm, cfg=cfg, symbols=build.symbols)
+    build.load_into(cluster)
+    for _ in range(60):  # mid-FREP, streams armed and flowing
+        cluster.step()
+    assert not cluster.fp.idle or not cluster.fp.streamers_done()
+    with pytest.raises(RuntimeError, match="busy"):
+        cluster.load_program("    ebreak\n")

@@ -119,3 +119,15 @@ def test_failures_are_not_cached(tmp_path):
     assert first.outcomes[0].status == "error"
     second = SweepRunner(cache=tmp_path / "c", workers=0).run([bad])
     assert second.cached_count == 0  # retried, not replayed
+
+
+def test_point_key_engine_sensitivity():
+    """The engine choice is part of the cache key (and defaults to the
+    base config's own engine selection)."""
+    key_auto = point_key(POINT, __version__)
+    assert key_auto == point_key(POINT, __version__, engine="auto")
+    assert key_auto != point_key(POINT, __version__, engine="fast")
+    assert key_auto != point_key(POINT, __version__, engine="scalar")
+    cfg = CoreConfig(engine="scalar")
+    assert point_key(POINT, __version__, base_cfg=cfg) != \
+        point_key(POINT, __version__, base_cfg=cfg, engine="fast")

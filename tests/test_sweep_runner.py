@@ -174,3 +174,39 @@ def test_aggregation_helpers():
     rows = summary_rows(campaign)
     assert len(rows) == 4
     assert all(row[1] == "ok" for row in rows)
+
+
+def test_engine_selection_is_bit_identical():
+    """`repro sweep --engine {fast,scalar}` must not change a single
+    reported number -- only the wall clock."""
+    point = make_point("vecop", "chaining", n=256, loop_mode="frep")
+    results = {
+        engine: SweepRunner(workers=0, engine=engine).run([point])
+        .outcomes[0].result
+        for engine in ("scalar", "fast")
+    }
+    a, b = results["scalar"], results["fast"]
+    assert a.cycles == b.cycles
+    assert a.region_cycles == b.region_cycles
+    assert a.fpu_utilization == b.fpu_utilization
+    assert a.stalls == b.stalls
+    assert a.energy.total_pj == b.energy.total_pj
+
+
+def test_engine_override_axis():
+    point = make_point("vecop", "chaining", n=64,
+                       overrides={"engine": "scalar"})
+    campaign = SweepRunner(workers=0).run([point])
+    campaign.raise_on_failure()
+    assert campaign.outcomes[0].result.correct
+
+    import pytest
+    with pytest.raises(ValueError, match="engine"):
+        make_point("vecop", "chaining", n=64,
+                   overrides={"engine": "warp"})
+
+
+def test_runner_rejects_unknown_engine():
+    import pytest
+    with pytest.raises(ValueError, match="engine"):
+        SweepRunner(engine="warp")
