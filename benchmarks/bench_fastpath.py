@@ -59,6 +59,9 @@ def test_fastpath_speedup_and_equivalence(benchmark):
     assert scalar.tcdm.stats() == fast.tcdm.stats()
     assert scalar.fp.fpregs.values == fast.fp.fpregs.values
 
+    if benchmark.stats is None:
+        pytest.skip("benchmarking disabled: equivalence checked, "
+                    "no timing to assert")
     speedup = min(scalar_seconds) / benchmark.stats.stats.min
     print(f"\nfast-path speedup on vecop n={N}: {speedup:.1f}x "
           f"({fast.fastpath.stats['fast_forwarded_cycles']} of "

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -32,7 +33,7 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 #: Benchmarks gated by default (regex fragments matched against names).
-GATED = ("fastpath", "fig1", "vecop_wallclock")
+GATED = ("fastpath", "fig1", "vecop_wallclock", "scalar_v2")
 
 
 def calibrate(rounds: int = 5) -> float:
@@ -68,6 +69,40 @@ def load_current(path: Path) -> dict[str, float]:
 
 def gated(names, patterns) -> list[str]:
     return [n for n in names if any(p in n for p in patterns)]
+
+
+def write_step_summary(rows: list[dict], scale: float,
+                       threshold: float) -> None:
+    """Append the comparison table to the GitHub Actions job summary.
+
+    A no-op outside Actions (``GITHUB_STEP_SUMMARY`` unset); the same
+    information is always printed to stdout.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"Calibration scale vs baseline machine: `{scale:.2f}x`; "
+        f"fail threshold `{threshold:.2f}x`.",
+        "",
+        "| benchmark | current | scaled baseline | ratio | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        if row["current_ms"] is None:
+            lines.append(f"| `{row['name']}` | missing | "
+                         f"{row['baseline_ms']:.2f} ms | - | :x: missing |")
+            continue
+        verdict = ":white_check_mark: ok" if row["ok"] \
+            else ":x: regression"
+        lines.append(
+            f"| `{row['name']}` | {row['current_ms']:.2f} ms "
+            f"| {row['baseline_ms']:.2f} ms | {row['ratio']:.2f}x "
+            f"| {verdict} |")
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def main(argv=None) -> int:
@@ -109,19 +144,28 @@ def main(argv=None) -> int:
           f"{cal * 1e3:.2f} ms -> scale {scale:.2f}x")
 
     failures = []
+    rows = []
     for name, base_median in sorted(baseline["benchmarks"].items()):
         if name not in current:
             print(f"  MISSING  {name} (in baseline, not in this run)")
             failures.append(name)
+            rows.append({"name": name, "current_ms": None,
+                         "baseline_ms": base_median * scale * 1e3,
+                         "ratio": None, "ok": False})
             continue
         allowed = base_median * scale * args.threshold
         ratio = current[name] / (base_median * scale)
-        verdict = "ok" if current[name] <= allowed else "REGRESSION"
+        ok = current[name] <= allowed
+        verdict = "ok" if ok else "REGRESSION"
         print(f"  {verdict:10s} {name}: {current[name] * 1e3:8.2f} ms "
               f"vs scaled baseline {base_median * scale * 1e3:8.2f} ms "
               f"({ratio:.2f}x)")
-        if current[name] > allowed:
+        rows.append({"name": name, "current_ms": current[name] * 1e3,
+                     "baseline_ms": base_median * scale * 1e3,
+                     "ratio": ratio, "ok": ok})
+        if not ok:
             failures.append(name)
+    write_step_summary(rows, scale, args.threshold)
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed beyond "

@@ -53,7 +53,7 @@ from repro.sweep import (
 )
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AreaModel",

@@ -10,6 +10,9 @@ Commands map one-to-one onto the paper's artifacts:
 * ``area``   -- the area-overhead estimate;
 * ``sweep``  -- run an experiment campaign (preset or spec file) through
   the parallel, cached sweep engine;
+* ``profile`` -- run one kernel/variant under cProfile and print the
+  top-N hotspot tables (cumulative + tottime), so perf work starts
+  from data;
 * ``list``   -- available kernels, variants and sweep presets.
 
 ``--json PATH`` on the data-producing commands writes machine-readable
@@ -294,6 +297,45 @@ def _write_sweep_csv(path: str, campaign) -> None:
             ])
 
 
+def cmd_profile(args) -> int:
+    """Run one kernel/variant under cProfile and print hotspot tables."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.core.config import CoreConfig
+
+    cfg = CoreConfig()
+    if args.engine:
+        cfg.engine = args.engine
+        cfg.validate()
+    grid = None
+    if args.nz or args.ny or args.nx:
+        if not (args.nz and args.ny and args.nx):
+            raise SystemExit("--nz/--ny/--nx must be given together")
+        grid = Grid3d(nz=args.nz, ny=args.ny, nx=args.nx)
+    variant = _variant_by_label(args.variant)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_stencil_variant(args.kernel, variant, grid=grid, cfg=cfg)
+    profiler.disable()
+
+    print(f"{args.kernel}/{variant.label} engine={cfg.engine}: "
+          f"{result.cycles} cycles, correct={result.correct}")
+    for sort in ("cumulative", "tottime"):
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats(sort).print_stats(args.top)
+        print(f"\n== top {args.top} by {sort} ==")
+        # Drop the pstats preamble: keep the header line and the rows.
+        lines = buf.getvalue().splitlines()
+        start = next((i for i, line in enumerate(lines)
+                      if line.lstrip().startswith("ncalls")), 0)
+        print("\n".join(lines[start:]).rstrip())
+    return 0
+
+
 def cmd_list(args) -> int:
     print("kernels: " + ", ".join(kernel_names()))
     print("variants: " + ", ".join(v.label for v in VARIANT_ORDER))
@@ -357,12 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process count (default: all cores; 0/1: serial)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-point wall-clock budget in seconds")
-    p.add_argument("--engine", choices=("auto", "fast", "scalar"),
+    p.add_argument("--engine",
+                   choices=("auto", "fast", "scalar", "scalar-v2"),
                    default=None,
                    help="execution engine for every point (bit-identical "
                         "results; 'fast' vectorizes eligible FREP/SSR "
-                        "regions, 'scalar' is the cycle-by-cycle "
-                        "reference, default: config's own choice); "
+                        "regions, 'scalar-v2' is the pre-decoded "
+                        "micro-op engine, 'scalar' is the cycle-by-cycle "
+                        "reference, 'auto' composes fast + scalar-v2, "
+                        "default: config's own choice); "
                         "part of the result-cache key")
     p.add_argument("--baseline",
                    help="variant label for geomean-vs-baseline table")
@@ -373,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json")
     p.add_argument("--csv")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("profile",
+                       help="cProfile one kernel/variant, print hotspots")
+    p.add_argument("--kernel", default="j3d27pt")
+    p.add_argument("--variant", default="Chaining+")
+    p.add_argument("--engine",
+                   choices=("auto", "fast", "scalar", "scalar-v2"),
+                   default=None,
+                   help="execution engine to profile (default: auto)")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows per hotspot table")
+    p.add_argument("--nz", type=int)
+    p.add_argument("--ny", type=int)
+    p.add_argument("--nx", type=int)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("list", help="available kernels and variants")
     p.set_defaults(func=cmd_list)

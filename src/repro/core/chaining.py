@@ -105,8 +105,12 @@ class ChainController:
 
     def begin_cycle(self) -> None:
         """Reset per-cycle pop tracking (call once at the top of a cycle)."""
-        self._popped_this_cycle.clear()
-        self._valid_at_start = list(self.valid)
+        if self._popped_this_cycle:
+            self._popped_this_cycle.clear()
+        if not self.concurrent_push_pop:
+            # ``_valid_at_start`` is only consulted by the conservative
+            # push rule, so the copy is skipped in concurrent mode.
+            self._valid_at_start = list(self.valid)
 
     def note_pop(self, reg: int) -> None:
         """Record that ``reg`` was popped at issue; clears the valid bit."""

@@ -20,11 +20,23 @@ import numpy as np
 from repro.core.config import CoreConfig
 from repro.core.fp_subsystem import FpSubsystem
 from repro.core.int_core import IntCore
-from repro.core.perf import PerfCounters
+from repro.core.perf import SLOT, PerfCounters, StallReason
 from repro.isa.assembler import Program, assemble
+from repro.isa.csr import is_fp_csr
+from repro.isa.instructions import InstrClass
 from repro.mem.dma import DmaEngine
 from repro.mem.memory import Allocator, Memory
 from repro.mem.tcdm import Tcdm
+from repro.ssr.config import SsrMode
+
+_INF = 1 << 62
+_S_FPU_COMPUTE = SLOT["fpu_compute_ops"]
+_S_FP_LSU = SLOT["fp_lsu_ops"]
+
+#: After a failed fast-forward probe (no dead span, or a span too short
+#: to pay for itself), further probes are suppressed for this many
+#: cycles.  Pure throughput damping: skipping is always optional.
+_FF_COOLDOWN = 8
 
 
 class SimulationTimeout(RuntimeError):
@@ -78,13 +90,21 @@ class Cluster:
         if trace is not None and hasattr(trace, "attach"):
             trace.attach(self.fp)
         self.cycle = 0
+        self._single = num_cores == 1
+        #: Micro-op engine selection (pre-decoded dispatch + idle-cycle
+        #: fast-forwarding); bit-identical to the seed interpreter and
+        #: trace-safe, so it stays on under a trace recorder.
+        self._v2 = self.cfg.uses_uops
+        self._fp_qdepth = self.cfg.fp_queue_depth
+        #: Idle-cycle fast-forward statistics (scalar-v2 engine).
+        self.ff_stats = {"spans": 0, "cycles": 0}
         # Vectorized FREP/SSR fast path (repro.core.fastpath): attached
         # to core 0, engaged only when the detector proves a hardware
         # loop safe.  Tracing needs every per-issue event, so "auto"
-        # silently stays scalar under a trace; "fast" makes that an
+        # silently runs without it under a trace; "fast" makes that an
         # error instead.
         self.fastpath = None
-        if self.cfg.engine != "scalar":
+        if self.cfg.engine in ("auto", "fast"):
             if trace is not None:
                 if self.cfg.engine == "fast":
                     raise ValueError(
@@ -183,6 +203,13 @@ class Cluster:
 
     def step(self) -> None:
         """Advance the whole cluster by one cycle."""
+        if self._v2:
+            self._step_v2()
+        else:
+            self._step_seed()
+
+    def _step_seed(self) -> None:
+        """The seed per-cycle loop (engines ``scalar`` and ``fast``)."""
         for fp, core in zip(self.fps, self.cores):
             fp.step(self.cycle)
             core.step(self.cycle)
@@ -196,19 +223,81 @@ class Cluster:
         if self.fastpath is not None:
             self.fastpath.observe()
 
+    def _step_v2(self) -> None:
+        """Micro-op per-cycle loop: same component order and semantics as
+        :meth:`_step_seed`, with idle components skipped by cheap state
+        tests (each skipped call is a proven no-op)."""
+        cycle = self.cycle
+        if self._single:
+            fp = self.fp
+            core = self.core
+            fp.step_v2(cycle)
+            core.step_v2(cycle)
+            for streamer in fp.streamers:
+                if streamer.cfg is not None:
+                    streamer.step_v2()
+            if core.barrier_wait:
+                self._release_barrier()
+        else:
+            for fp, core in zip(self.fps, self.cores):
+                fp.step_v2(cycle)
+                core.step_v2(cycle)
+                for streamer in fp.streamers:
+                    if streamer.cfg is not None:
+                        streamer.step_v2()
+            self._release_barrier()
+        dma = self.dma
+        if dma._queue:
+            dma.step()
+        self.tcdm.arbitrate_v2()
+        self.cycle = cycle + 1
+        self.perf.cycles = self.cycle
+        if self.fastpath is not None:
+            self.fastpath.observe()
+
     def run(self, max_cycles: int = 5_000_000) -> PerfCounters:
         """Run to completion; returns the performance counters."""
+        # The progress token exists purely for post-halt deadlock
+        # detection, so it is only computed once the core has halted --
+        # evaluating it every cycle was pure hot-loop waste.
         quiet_cycles = 0
-        last_progress = self._progress_token()
-        while not self.done:
+        last_progress: tuple | None = None
+        core = self.core
+        cores = self.cores
+        single_core = self._single
+        v2 = self._v2
+        fp0_queue = self.fp.sequencer.queue
+        qdepth = self._fp_qdepth
+        ff_cooldown = 0
+        while True:
+            if (core.halted if single_core
+                    else all(c.halted for c in cores)) \
+                    and (self._done_v2() if v2 else self.done):
+                break
             if self.cycle >= max_cycles:
                 raise SimulationTimeout(
                     f"no completion after {max_cycles} cycles "
                     f"(pc={self.core.pc:#x}, halted={self.core.halted})"
                 )
-            self.step()
-            token = self._progress_token()
-            if self.core.halted:
+            if v2:
+                # Fast-forwarding needs every core blocked; test core 0
+                # inline so active cycles pay a few comparisons at most.
+                if (core.halted or core.barrier_wait
+                        or core.waiting_sync is not None
+                        or core.stall_until > self.cycle
+                        or len(fp0_queue) >= qdepth) \
+                        and self.cycle >= ff_cooldown \
+                        and self._ff_candidate():
+                    skipped = self._try_fast_forward(max_cycles)
+                    if not skipped:
+                        ff_cooldown = self.cycle + _FF_COOLDOWN
+                        self._step_v2()
+                else:
+                    self._step_v2()
+            else:
+                self._step_seed()
+            if core.halted:
+                token = self._progress_token()
                 quiet_cycles = 0 if token != last_progress else \
                     quiet_cycles + 1
                 if quiet_cycles > 64:
@@ -217,20 +306,344 @@ class Cluster:
                         "stream cannot drain (under-produced stream or "
                         "starved chaining pop?)"
                     )
-            last_progress = token
+                last_progress = token
         return self.perf
 
     def _progress_token(self) -> tuple:
         """Cheap state fingerprint for deadlock detection after halt."""
+        queued = in_pipe = 0
+        for fp in self.fps:
+            queued += len(fp.sequencer.queue)
+            in_pipe += len(fp.pipe.in_flight)
+        waiting = 0
+        for c in self.cores:
+            waiting += c.barrier_wait
+        pvals = self.perf.values
         return (
             self.tcdm.total_accesses,
-            sum(fp.sequencer.queue_len for fp in self.fps),
-            sum(len(fp.pipe) for fp in self.fps),
-            self.perf.value("fpu_compute_ops"),
-            self.perf.value("fp_lsu_ops"),
+            queued,
+            in_pipe,
+            pvals[_S_FPU_COMPUTE],
+            pvals[_S_FP_LSU],
             self.dma.bytes_moved,
-            sum(core.barrier_wait for core in self.cores),
+            waiting,
         )
+
+    def _done_v2(self) -> bool:
+        """Attribute-direct equivalent of :attr:`done` for the v2 loop."""
+        if self.dma._queue:
+            return False
+        for core in self.cores:
+            if not core.halted:
+                return False
+        for fp in self.fps:
+            seq = fp.sequencer
+            if seq.queue or seq._active or fp.pipe.in_flight \
+                    or fp.sync_ready:
+                return False
+            lsu = fp.lsu
+            if lsu._pending_load is not None or lsu._pending_store \
+                    or lsu._blocked_value is not None \
+                    or lsu.port._pending is not None \
+                    or lsu.port._response_ready:
+                return False
+            for s in fp.streamers:
+                if not s.done:
+                    return False
+        return True
+
+    # -- idle-cycle fast-forwarding (scalar-v2) -----------------------------
+    #
+    # Quiescence protocol: a cycle is *dead* when every component either
+    # cannot change state before a known future cycle (its horizon) or
+    # is provably inert.  All dead cycles in a span are identical -- the
+    # machine is deterministic and, with every threshold (FPU completion
+    # times, branch-penalty ends, register ready cycles) beyond the
+    # span, time itself cannot alter any decision -- so the engine steps
+    # *one* of them normally, verifies that nothing but counters moved,
+    # and replays the measured per-cycle counter delta over the rest of
+    # the span in O(1).  An active DMA engine is the one deterministic
+    # exception: it is stepped through the span in isolation (nothing
+    # else can observe it while all cores are blocked), reproducing its
+    # chunk-exact memory traffic and busy accounting.  Any
+    # misclassification is caught by the signature check and simply
+    # degrades into a normal single step.
+
+    def _ff_candidate(self) -> bool:
+        """Cheap pre-gate: every core blocked and no stream traffic."""
+        cycle = self.cycle
+        for core, fp in zip(self.cores, self.fps):
+            if not (core.halted or core.barrier_wait
+                    or core.waiting_sync is not None
+                    or core.stall_until > cycle
+                    or len(fp.sequencer.queue) >= self._fp_qdepth):
+                return False
+            for s in fp.streamers:
+                port = s.data_port
+                if port._pending is not None or port._response_ready:
+                    return False
+        return True
+
+    def _streamer_quiescent(self, s) -> bool:
+        """Would stepping this armed streamer do any work at all?"""
+        port = s.data_port
+        if port._pending is not None or port._response_ready:
+            return False
+        iport = s.idx_port
+        if iport._pending is not None or iport._response_ready:
+            return False
+        if s.cfg.mode == SsrMode.READ:
+            headroom = s.fifo_depth - len(s._fifo) \
+                - (1 if s._data_requested else 0)
+            if headroom > 0:
+                if s._igen is not None:
+                    if s._idx_fifo:
+                        return False
+                elif not s._gen.exhausted:
+                    return False
+        elif s._fifo:
+            return False
+        if s._igen is not None and not s._igen.exhausted \
+                and len(s._idx_fifo) < s.fifo_depth:
+            return False
+        return True
+
+    def _fp_stall_horizon(self, fp, entry, cycle, pipe_event):
+        """When could the stalled head-of-queue entry next make progress?
+
+        Returns None when the entry would issue (or its stall cannot be
+        bounded), else a cycle that is <= the first possible change.
+        Mirrors the issue-stall checks side-effect-free; the caller has
+        already established an idle LSU, quiescent streamers and an
+        incomplete pipe head.
+        """
+        instr = entry.instr
+        iclass = instr.iclass
+        if iclass in (InstrClass.FREP, InstrClass.CSR, InstrClass.SCFG):
+            return None
+        if iclass is InstrClass.FP_LOAD:
+            dest = instr.rd
+            if fp.ssr_enable and dest < fp._num_streamers:
+                return None  # would raise; let the normal step do it
+            if fp.chain.enabled(dest) or not fp.fpregs.busy[dest]:
+                return None  # would issue
+            return pipe_event  # WAW clears at the next writeback
+        if iclass is InstrClass.FP_STORE:
+            reason = fp._sources_ready([instr.rs2])
+            if reason is StallReason.NONE:
+                return None
+            if reason is StallReason.SSR_EMPTY:
+                return None  # an empty quiescent stream never refills
+            return pipe_event  # RAW / CHAIN_EMPTY resolve via writeback
+        sources = fp._fp_sources(instr)
+        reason = fp._sources_ready(sources)
+        if reason is not StallReason.NONE:
+            if reason is StallReason.SSR_EMPTY:
+                return None
+            return pipe_event
+        sync = instr.spec.rd_domain == "x"
+        dest = None if sync else instr.rd
+        if dest is not None and not fp._is_stream_reg(dest) \
+                and not fp.fpregs.can_write(dest):
+            return pipe_event  # WAW
+        if not fp.pipe.can_accept(cycle, iclass, False):
+            return pipe_event  # pipe full / unpipelined op in flight
+        return None  # would issue
+
+    def _core_fetch_horizon(self, core, fp, cycle):
+        """Horizon of a running core: None unless it is hazard- or
+        dispatch-stalled with a bounded wake-up."""
+        instr = core._fetch()
+        if instr is None:
+            return None  # will raise in the normal step
+        spec = instr.spec
+        iclass = spec.iclass
+        if instr.is_fp or (iclass is InstrClass.CSR
+                           and is_fp_csr(instr.csr)):
+            if len(fp.sequencer.queue) >= self._fp_qdepth:
+                return _INF  # dispatch stall; resolves via an FP issue
+            if iclass in (InstrClass.FP_LOAD, InstrClass.FP_STORE,
+                          InstrClass.FREP):
+                needed = (instr.rs1,)
+            elif iclass is InstrClass.SCFG:
+                needed = (instr.rs1, instr.rs2) \
+                    if instr.mnemonic == "scfgw" else (instr.rs1,)
+            elif iclass is InstrClass.CSR:
+                needed = (instr.rs1,) if (
+                    spec.rs1_domain == "x" and instr.mnemonic in (
+                        "csrrw", "csrrs", "csrrc")) else ()
+            elif spec.rd_domain == "x":
+                needed = ()
+            elif spec.rs1_domain == "x":
+                needed = (instr.rs1,)
+            else:
+                needed = ()
+        elif iclass in (InstrClass.INT_ALU, InstrClass.INT_MUL,
+                        InstrClass.INT_DIV):
+            from repro.core.int_core import _IMM_TO_ALU
+
+            mn = instr.mnemonic
+            if mn in ("lui", "auipc"):
+                return None  # executes unconditionally
+            needed = (instr.rs1,) if mn in _IMM_TO_ALU \
+                else (instr.rs1, instr.rs2)
+        elif iclass is InstrClass.LOAD:
+            needed = (instr.rs1,)
+        elif iclass in (InstrClass.STORE, InstrClass.BRANCH):
+            needed = (instr.rs1, instr.rs2)
+        elif iclass is InstrClass.JUMP:
+            if instr.mnemonic == "jal":
+                return None
+            needed = (instr.rs1,)
+        else:
+            return None  # CSR / DMA / SYS: executes (or retries) now
+        ready_cycle = core.regs.ready_cycle
+        horizon = 0
+        for reg in needed:
+            r = ready_cycle[reg]
+            if r > cycle and r > horizon:
+                horizon = r
+        return horizon if horizon else None
+
+    def _classify_pair(self, core, fp, cycle):
+        """Dead-state horizon of one core + FP subsystem, or None."""
+        port = core.port
+        if port._pending is not None or port._response_ready \
+                or core._pending_load_rd is not None:
+            return None
+        lsu = fp.lsu
+        if lsu._pending_load is not None or lsu._pending_store \
+                or lsu._blocked_value is not None or lsu.port.busy:
+            return None
+        for s in fp.streamers:
+            if s.cfg is not None and not self._streamer_quiescent(s):
+                return None
+        pipe = fp.pipe
+        fp_event = _INF
+        if pipe.in_flight:
+            head_t = pipe.in_flight[0].completes_at
+            if head_t <= cycle:
+                return None  # a writeback fires this cycle
+            fp_event = head_t
+        entry = fp.sequencer.peek()
+        if entry is not None:
+            stall_h = self._fp_stall_horizon(fp, entry, cycle, fp_event)
+            if stall_h is None:
+                return None
+            if stall_h < fp_event:
+                fp_event = stall_h
+        horizon = fp_event
+        if core.halted or core.barrier_wait:
+            pass
+        elif core.waiting_sync is not None:
+            if fp.sync_ready:
+                return None  # the core consumes the sync next cycle
+        elif core.stall_until > cycle:
+            if core.stall_until < horizon:
+                horizon = core.stall_until
+        else:
+            h = self._core_fetch_horizon(core, fp, cycle)
+            if h is None:
+                return None
+            if h < horizon:
+                horizon = h
+        return horizon
+
+    def _dead_horizon(self):
+        """First cycle at which any cluster state can change, or None."""
+        cycle = self.cycle
+        horizon = _INF
+        dma = self.dma
+        if dma._queue:
+            remaining = sum(t.row_bytes * t.rows - t.moved
+                            for t in dma._queue)
+            horizon = cycle + -(-remaining // dma.bytes_per_cycle)
+        any_barrier = False
+        for core, fp in zip(self.cores, self.fps):
+            h = self._classify_pair(core, fp, cycle)
+            if h is None:
+                return None
+            if h < horizon:
+                horizon = h
+            any_barrier = any_barrier or core.barrier_wait
+        if any_barrier and all(c.halted or c.barrier_wait
+                               for c in self.cores):
+            return None  # the barrier opens this very cycle
+        if horizon >= _INF or horizon <= cycle + 1:
+            return None
+        return horizon
+
+    def _quiet_signature(self, skip_dma: bool):
+        """Everything a dead cycle must leave untouched (counters aside)."""
+        tcdm = self.tcdm
+        parts = [tcdm.total_accesses, tcdm.total_conflicts]
+        if not skip_dma:
+            parts.append(self.dma.bytes_moved)
+            parts.append(len(self.dma._queue))
+        for core, fp in zip(self.cores, self.fps):
+            seq = fp.sequencer
+            chain = fp.chain
+            lsu = fp.lsu
+            parts.append((
+                core.pc, core.halted, core.barrier_wait,
+                core.waiting_sync is not None, core.stall_until,
+                core._pending_load_rd, core.port._pending is not None,
+                core.port._response_ready,
+                len(seq.queue), seq._active, seq._pos,
+                len(fp.pipe.in_flight), fp.pipe._last_completion,
+                fp.sync_ready,
+                chain.pushes, chain.pops, chain.backpressure_events,
+                lsu.loads, lsu.stores,
+                lsu._pending_load is not None, lsu._pending_store,
+            ))
+            for s in fp.streamers:
+                parts.append((
+                    len(s._fifo), len(s._idx_fifo), s._rep_count,
+                    s._to_consume, s._to_produce,
+                    s.elements_moved, s.active_cycles))
+        return parts
+
+    def _try_fast_forward(self, max_cycles: int) -> bool:
+        """Jump over a provably-dead span; False when none exists."""
+        horizon = self._dead_horizon()
+        if horizon is None:
+            return False
+        start = self.cycle
+        if horizon > max_cycles:
+            horizon = max_cycles
+        span = horizon - start
+        if span < 2:
+            return False
+        dma_active = bool(self.dma._queue)
+        sig0 = self._quiet_signature(dma_active)
+        perf = self.perf
+        vals0 = list(perf.values)
+        stalls0 = dict(perf.stalls)
+        self._step_v2()  # the measured dead cycle
+        if self._quiet_signature(dma_active) != sig0:
+            return True  # misclassified: one normal step was taken
+        # Replay the measured per-cycle delta over the remaining span.
+        k = span - 1
+        pvals = perf.values
+        n0 = len(vals0)
+        for i in range(len(pvals)):
+            d = pvals[i] - (vals0[i] if i < n0 else 0)
+            if d:
+                pvals[i] += d * k
+        stalls = perf.stalls
+        for reason, value in list(stalls.items()):
+            d = value - stalls0.get(reason, 0)
+            if d:
+                stalls[reason] += d * k
+        if dma_active:
+            dma = self.dma
+            for _ in range(k):
+                dma.step()
+        self.cycle += k
+        perf.cycles = self.cycle
+        self.ff_stats["spans"] += 1
+        self.ff_stats["cycles"] += k
+        return True
 
     # -- convenience metrics ---------------------------------------------------
 

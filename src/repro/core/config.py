@@ -82,20 +82,27 @@ class CoreConfig:
     #: conservatively delayed, costing a bubble per wrap-around.
     chain_concurrent_push_pop: bool = True
 
-    #: Execution engine for FREP/SSR steady-state regions:
+    #: Execution engine:
     #:
-    #: * ``"auto"`` (default) -- use the vectorized fast path
-    #:   (:mod:`repro.core.fastpath`) whenever a hardware-loop region
-    #:   proves eligible, silently falling back to the cycle-by-cycle
-    #:   scalar model otherwise (and whenever a trace recorder is
-    #:   attached, since the fast path skips per-issue events);
-    #: * ``"fast"`` -- same engine, but attaching a trace recorder is an
-    #:   error instead of a silent fallback;
-    #: * ``"scalar"`` -- never engage the fast path (the reference model).
+    #: * ``"auto"`` (default) -- compose both accelerated engines: the
+    #:   vectorized FREP/SSR fast path (:mod:`repro.core.fastpath`) on
+    #:   eligible hardware-loop regions, and the scalar-v2 micro-op
+    #:   engine (pre-decoded dispatch plus idle-cycle fast-forwarding,
+    #:   :mod:`repro.core.uops`) everywhere else.  With a trace recorder
+    #:   attached the fast path silently stands down (it skips per-issue
+    #:   events) while the micro-op engine keeps running -- it emits
+    #:   every trace event exactly like the seed interpreter;
+    #: * ``"scalar-v2"`` -- the micro-op engine alone, never the
+    #:   vectorized fast path;
+    #: * ``"fast"`` -- the vectorized fast path over the seed scalar
+    #:   interpreter; attaching a trace recorder is an error instead of
+    #:   a silent fallback;
+    #: * ``"scalar"`` -- the seed cycle-by-cycle interpreter (the
+    #:   reference model).
     #:
     #: All engines are bit-identical in every architecturally visible
     #: quantity: results, cycle counts, perf counters, stall breakdowns,
-    #: SSR/TCDM traffic statistics and therefore energy.
+    #: SSR/TCDM traffic statistics, trace events and therefore energy.
     engine: str = "auto"
 
     #: Clock frequency used to convert cycles to time and energy to power.
@@ -118,7 +125,12 @@ class CoreConfig:
         for iclass, lat in self.fpu_latency.items():
             if lat < 1:
                 raise ValueError(f"latency of {iclass} must be >= 1")
-        if self.engine not in ("auto", "fast", "scalar"):
+        if self.engine not in ("auto", "fast", "scalar", "scalar-v2"):
             raise ValueError(
-                f"engine must be 'auto', 'fast' or 'scalar', got "
-                f"{self.engine!r}")
+                f"engine must be 'auto', 'fast', 'scalar' or 'scalar-v2', "
+                f"got {self.engine!r}")
+
+    @property
+    def uses_uops(self) -> bool:
+        """True when the micro-op (scalar-v2) engine drives the cores."""
+        return self.engine in ("auto", "scalar-v2")

@@ -27,7 +27,7 @@ from repro.core.chaining import ChainController
 from repro.core.config import CoreConfig
 from repro.core.fpu import FpuPipe, execute_fp
 from repro.core.lsu import FpLsu
-from repro.core.perf import PerfCounters, StallReason
+from repro.core.perf import SLOT, PerfCounters, StallReason
 from repro.core.regfile import FpRegFile
 from repro.core.sequencer import DispatchedEntry, Sequencer
 from repro.isa.csr import CSR
@@ -35,6 +35,11 @@ from repro.isa.instructions import Instr, InstrClass
 from repro.mem.tcdm import Tcdm
 from repro.ssr.config import split_cfg_addr
 from repro.ssr.streamer import SsrStreamer
+
+
+_S_RF_WRITES = SLOT["fp_rf_writes"]
+_S_CHAIN_PUSHES = SLOT["chain_pushes"]
+_S_SSR_WRITES = SLOT["ssr_reg_writes"]
 
 
 class FpSubsystem:
@@ -60,6 +65,12 @@ class FpSubsystem:
         # Synchronization channel back to the integer core.
         self.sync_ready = False
         self._sync_value: int = 0
+        # Structural constants used by the micro-op (scalar-v2) issue
+        # path; the counter slots themselves are the module-level
+        # ``SLOT`` constants shared by the lowered closures.
+        self._pvals = perf.values
+        self._num_streamers = len(self.streamers)
+        self._pipe_depth = cfg.fpu_pipe_depth
 
     # -- int-core interface ---------------------------------------------------
 
@@ -184,6 +195,125 @@ class FpSubsystem:
                 self.lsu.block(dest, value)
             else:
                 self.perf.bump("fp_rf_writes")
+
+    def step_v2(self, cycle: int) -> None:
+        """Micro-op variant of :meth:`step`: same phases, same semantics,
+        with the per-cycle no-op calls compiled down to attribute tests."""
+        chain = self.chain
+        if chain._popped_this_cycle:
+            chain._popped_this_cycle.clear()
+        if not chain.concurrent_push_pop:
+            chain._valid_at_start = list(chain.valid)
+        lsu = self.lsu
+        lsu_port = lsu.port
+        if lsu._pending_load is not None or lsu._pending_store \
+                or lsu._blocked_value is not None \
+                or lsu_port._pending is not None \
+                or lsu_port._response_ready:
+            lsu_commits = lsu.step()
+        else:
+            lsu_commits = None
+        # Issue phase: dispatch through the entry's lowered closure
+        # (with the sequencer's FREP peek inlined, so replay cycles
+        # skip the property/tuple traffic).
+        seq = self.sequencer
+        if not seq._active:
+            queue = seq.queue
+            entry = queue[0] if queue else None
+        else:
+            pos = seq._pos
+            if seq._inner:
+                body_idx = pos // seq._iters
+                iter_idx = pos % seq._iters
+            else:
+                body_idx = pos % seq._body_len
+                iter_idx = pos // seq._body_len
+            buffer = seq._buffer
+            if body_idx < len(buffer):
+                entry = buffer[body_idx]
+            elif seq.queue:
+                entry = seq.queue[0]
+            else:
+                entry = None
+            if entry is not None and iter_idx \
+                    and seq._stagger_mask and seq._stagger_max:
+                offset = iter_idx % (seq._stagger_max + 1)
+                if offset:
+                    key = (body_idx, offset)
+                    staggered = seq._stagger_cache.get(key)
+                    if staggered is None:
+                        staggered = seq._staggered(entry, iter_idx)
+                        seq._stagger_cache[key] = staggered
+                    entry = staggered
+        if entry is None:
+            self.perf.stall(StallReason.QUEUE_EMPTY)
+        else:
+            uop = entry.uop
+            if uop is None:
+                from repro.core.uops import lower_fp
+
+                uop = entry.uop = lower_fp(entry.instr, self.cfg)
+            uop(self, entry, cycle)
+        pipe = self.pipe
+        if pipe.in_flight and pipe.in_flight[0].completes_at <= cycle:
+            self._writeback_v2(cycle)
+        if lsu_commits:
+            for dest, value in lsu_commits:
+                if not self.fpregs.try_writeback(dest, value):
+                    self.lsu.block(dest, value)
+                else:
+                    self._pvals[_S_RF_WRITES] += 1
+
+    def _advance(self) -> None:
+        """Consume the entry issued by a micro-op (fast non-FREP path)."""
+        seq = self.sequencer
+        if seq._active:
+            seq.advance()
+        else:
+            seq.queue.popleft()
+
+    def _writeback_v2(self, cycle: int) -> None:
+        """Micro-op writeback: the caller has established a complete
+        pipe head; semantics are identical to :meth:`_writeback` with
+        the regfile/chain hand-offs inlined."""
+        pipe = self.pipe
+        in_flight = pipe.in_flight
+        op = in_flight[0]
+        if op.sync:
+            if self.sync_ready:
+                return  # previous sync result not consumed yet
+            self._deliver_sync(op.value)
+        else:
+            dest = op.dest
+            if op.dest_is_ssr:
+                streamer = self.streamers[dest]
+                fifo = streamer._fifo
+                if len(fifo) >= streamer.fifo_depth:
+                    return  # write FIFO full: pipe stalls
+                fifo.append(float(op.value))
+                streamer._to_produce -= 1
+                self._pvals[_S_SSR_WRITES] += 1
+            else:
+                chain = self.chain
+                if chain.mask >> dest & 1:
+                    if chain.valid[dest] and not (
+                            chain.concurrent_push_pop
+                            and dest in chain._popped_this_cycle) \
+                            or (not chain.concurrent_push_pop
+                                and chain._valid_at_start[dest]):
+                        chain.backpressure_events += 1
+                        return  # chaining backpressure: pipe stalls
+                    self.fpregs.values[dest] = float(op.value)
+                    chain.valid[dest] = True
+                    chain.pushes += 1
+                    self._pvals[_S_CHAIN_PUSHES] += 1
+                else:
+                    self.fpregs.values[dest] = float(op.value)
+                    self.fpregs.busy[dest] = False
+                    self._pvals[_S_RF_WRITES] += 1
+        in_flight.popleft()
+        if op.unpipelined:
+            pipe._unpipelined -= 1
 
     # -- issue phase -------------------------------------------------------------
 

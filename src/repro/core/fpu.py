@@ -85,7 +85,7 @@ def execute_fp(mnemonic: str, operands: list[float]) -> float | int:
     return fn(*operands)
 
 
-@dataclass
+@dataclass(slots=True)
 class InFlightOp:
     """One operation travelling through the FPU pipe."""
 
@@ -95,6 +95,9 @@ class InFlightOp:
     value: float | int
     completes_at: int
     sync: bool = False        # result goes back to the integer core
+    #: Cached ``iclass in UNPIPELINED_CLASSES`` so retirement does not
+    #: re-hash the enum.
+    unpipelined: bool = False
 
 
 class FpuPipe:
@@ -104,6 +107,9 @@ class FpuPipe:
         self.cfg = cfg
         self.in_flight: deque[InFlightOp] = deque()
         self._last_completion = -1
+        # Unpipelined ops currently in flight, tracked incrementally so
+        # the per-issue capacity check is O(1).
+        self._unpipelined = 0
 
     def __len__(self) -> int:
         return len(self.in_flight)
@@ -120,8 +126,7 @@ class FpuPipe:
         return bool(self.in_flight) and self.in_flight[0].completes_at <= cycle
 
     def has_unpipelined_in_flight(self) -> bool:
-        return any(op.instr.iclass in UNPIPELINED_CLASSES
-                   for op in self.in_flight)
+        return self._unpipelined > 0
 
     def can_accept(self, cycle: int, iclass: InstrClass,
                    head_will_retire: bool) -> bool:
@@ -130,7 +135,7 @@ class FpuPipe:
         ``head_will_retire`` is the caller's prediction of whether the head
         writeback will be accepted this same cycle (it frees one slot).
         """
-        if self.has_unpipelined_in_flight():
+        if self._unpipelined:
             return False
         occupancy = len(self.in_flight) - (1 if head_will_retire else 0)
         return occupancy < self.cfg.fpu_pipe_depth
@@ -141,12 +146,19 @@ class FpuPipe:
         latency = self.cfg.fpu_latency_of(op_instr.iclass)
         completes = max(cycle + latency, self._last_completion + 1)
         self._last_completion = completes
+        unpipelined = op_instr.iclass in UNPIPELINED_CLASSES
+        if unpipelined:
+            self._unpipelined += 1
         self.in_flight.append(
-            InFlightOp(op_instr, dest, dest_is_ssr, value, completes, sync))
+            InFlightOp(op_instr, dest, dest_is_ssr, value, completes, sync,
+                       unpipelined))
 
     def retire_head(self) -> InFlightOp:
         """Remove and return the head op (after an accepted writeback)."""
-        return self.in_flight.popleft()
+        op = self.in_flight.popleft()
+        if op.unpipelined:
+            self._unpipelined -= 1
+        return op
 
     def shift_time(self, cycles: int) -> None:
         """Translate every in-flight completion time by ``cycles``.

@@ -17,6 +17,8 @@ memory access).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.config import CoreConfig
 from repro.core.fp_subsystem import FpSubsystem
 from repro.core.perf import PerfCounters
@@ -99,6 +101,16 @@ class IntCore:
         self._pending_load_mn: str = "lw"
         self._mem = tcdm.mem
         self._decode_cache: dict[int, Instr] = {}
+        # Micro-op (scalar-v2) state: per-index lowered handlers for
+        # direct fetch, a pc-keyed cache for binary fetch, and
+        # pre-resolved perf slots for the blocked-state bumps.
+        self._uops: list = [None] * len(program.instrs)
+        self._uop_cache: dict[int, Any] = {}
+        self._pc_base = program.base
+        self._fetch_direct = not cfg.fetch_from_memory
+        self._pvals = perf.values
+        self._s_barrier = perf.slot("int_barrier_stalls")
+        self._s_sync = perf.slot("int_sync_stalls")
 
     # -- helpers ---------------------------------------------------------------
 
@@ -118,6 +130,12 @@ class IntCore:
         self.barrier_wait = False
         self._pending_load_rd = None
         self._decode_cache.clear()
+        # Micro-ops capture per-instruction state, so they are keyed to
+        # the program image exactly like the decode cache and must be
+        # dropped with it.
+        self._uops = [None] * len(program.instrs)
+        self._uop_cache.clear()
+        self._pc_base = program.base
 
     def _fetch(self) -> Instr | None:
         index = (self.pc - self.program.base) // 4
@@ -170,6 +188,75 @@ class IntCore:
             self._dispatch_fp(cycle, instr)
             return
         self._execute_int(cycle, instr)
+
+    def step_v2(self, cycle: int) -> None:
+        """Micro-op variant of :meth:`step`: pre-decoded dispatch through
+        a per-index handler table instead of per-cycle class tests."""
+        if self.port._response_ready:
+            self._collect_load(cycle)
+        if self.halted:
+            return
+        if self.barrier_wait:
+            self._pvals[self._s_barrier] += 1
+            return
+        if self.waiting_sync is not None:
+            fp = self.fp
+            if fp.sync_ready:
+                value = fp.take_sync()
+                instr = self.waiting_sync
+                if instr.rd:
+                    self.regs.write(instr.rd, value, ready_cycle=cycle + 1)
+                self.waiting_sync = None
+            else:
+                self._pvals[self._s_sync] += 1
+            return
+        if cycle < self.stall_until:
+            return
+        if self._fetch_direct:
+            index = (self.pc - self._pc_base) // 4
+            uops = self._uops
+            if 0 <= index < len(uops):
+                uop = uops[index]
+                if uop is None:
+                    from repro.core.uops import lower_int
+
+                    uop = uops[index] = lower_int(
+                        self, self.program.instrs[index])
+                uop(cycle)
+                return
+            uop = None
+        else:
+            uop = self._fetch_uop()
+        if uop is None:
+            raise RuntimeError(
+                f"integer core fell off the program at pc={self.pc:#x}; "
+                f"terminate programs with ebreak"
+            )
+        uop(cycle)
+
+    def _fetch_uop(self):
+        """The lowered handler for the instruction at ``pc``, or None."""
+        from repro.core.uops import lower_int  # deferred: mutual import
+
+        if not self.cfg.fetch_from_memory:
+            index = (self.pc - self._pc_base) // 4
+            uops = self._uops
+            if not 0 <= index < len(uops):
+                return None
+            uop = uops[index]
+            if uop is None:
+                uop = uops[index] = lower_int(
+                    self, self.program.instrs[index])
+            return uop
+        # Binary fetch decodes at the (possibly unaligned) pc exactly as
+        # the seed decode cache does, then lowers the decoded record.
+        uop = self._uop_cache.get(self.pc)
+        if uop is None:
+            instr = self._fetch()
+            if instr is None:
+                return None
+            uop = self._uop_cache[self.pc] = lower_int(self, instr)
+        return uop
 
     def _collect_load(self, cycle: int) -> None:
         if self.port.response_ready():

@@ -8,6 +8,15 @@ harness prints alongside.
 Region markers (written through the ``sim_mark`` mechanism or directly by
 the harness) snapshot all counters, so metrics can be computed over a
 kernel's steady-state region excluding setup code.
+
+Counter storage is *slotted*: each name is interned once into an integer
+index of a flat list, so the hot path is a list-index increment rather
+than a string-keyed hash update.  The pre-decoded micro-op engine binds
+``(values list, slot)`` pairs at lowering time and bypasses :meth:`bump`
+entirely; everything name-based (``bump``/``value``/``marks``/``summary``)
+keeps its seed behaviour, and the :attr:`counters` view reproduces the
+seed's ``Counter`` contents exactly (entries appear once bumped to a
+nonzero value).
 """
 
 from __future__ import annotations
@@ -40,22 +49,69 @@ class Snapshot:
     counters: dict[str, int] = field(default_factory=dict)
 
 
+#: Hot counters interned at fixed indices in every :class:`PerfCounters`
+#: instance, so micro-op lowering can capture plain ints instead of
+#: resolving per-instance slots.  Order is frozen: appending is fine,
+#: reordering would silently corrupt lowered code.
+_PREREGISTERED = (
+    "int_instrs", "int_hazard_stalls", "int_lsu_stalls",
+    "int_dispatch_stalls", "int_sync_stalls", "int_barrier_stalls",
+    "branches_taken", "branches_not_taken",
+    "fp_dispatches", "frep_ops", "fp_csr_ops", "scfg_ops",
+    "fp_lsu_ops", "fp_loads", "fp_stores",
+    "fpu_compute_ops", "ssr_reg_reads", "ssr_reg_writes",
+    "chain_pops", "chain_pushes", "fp_rf_reads", "fp_rf_writes",
+    "fpu_fp_add", "fpu_fp_mul", "fpu_fp_fma", "fpu_fp_div",
+    "fpu_fp_sqrt", "fpu_fp_cmp", "fpu_fp_minmax", "fpu_fp_sgnj",
+    "fpu_fp_cvt",
+)
+
+#: name -> fixed slot index for every pre-registered counter.
+SLOT = {name: index for index, name in enumerate(_PREREGISTERED)}
+
+
 class PerfCounters:
     """Cycle, instruction and stall accounting for one cluster."""
 
     def __init__(self):
         self.cycles = 0
-        self.counters: Counter[str] = Counter()
+        #: name -> index into :attr:`values` (interned on first use).
+        self._slot_of: dict[str, int] = dict(SLOT)
+        #: Flat counter storage; the micro-op engine indexes this
+        #: directly with slots obtained from :meth:`slot`.
+        self.values: list[int] = [0] * len(SLOT)
         self.stalls: Counter[StallReason] = Counter()
         self.marks: dict[int, Snapshot] = {}
 
     # -- accumulation ------------------------------------------------------
 
+    def slot(self, name: str) -> int:
+        """Intern ``name`` and return its index into :attr:`values`.
+
+        Micro-op lowering resolves the slot once and increments
+        ``perf.values[slot]`` inline on the hot path.
+        """
+        index = self._slot_of.get(name)
+        if index is None:
+            index = len(self.values)
+            self._slot_of[name] = index
+            self.values.append(0)
+        return index
+
     def bump(self, name: str, amount: int = 1) -> None:
-        self.counters[name] += amount
+        self.values[self.slot(name)] += amount
 
     def stall(self, reason: StallReason) -> None:
         self.stalls[reason] += 1
+
+    @property
+    def counters(self) -> Counter[str]:
+        """Name-keyed view of the slotted storage (nonzero entries only,
+        matching the seed ``Counter`` which held a key only once bumped)."""
+        values = self.values
+        return Counter({name: values[index]
+                        for name, index in self._slot_of.items()
+                        if values[index]})
 
     def counter_state(self) -> tuple[dict[str, int], dict[StallReason, int]]:
         """Plain-dict copies of all counters and stall buckets.
@@ -63,13 +119,17 @@ class PerfCounters:
         Used by the fast path to measure per-period deltas; cheap enough
         to take once per candidate steady-state sample.
         """
-        return dict(self.counters), dict(self.stalls)
+        values = self.values
+        counters = {name: values[index]
+                    for name, index in self._slot_of.items()
+                    if values[index]}
+        return counters, dict(self.stalls)
 
     def add_scaled(self, counter_delta: dict[str, int],
                    stall_delta: dict[StallReason, int], times: int) -> None:
         """Apply ``times`` repetitions of a measured per-period delta."""
         for name, amount in counter_delta.items():
-            self.counters[name] += times * amount
+            self.values[self.slot(name)] += times * amount
         for reason, amount in stall_delta.items():
             self.stalls[reason] += times * amount
 
@@ -83,7 +143,8 @@ class PerfCounters:
     # -- queries -----------------------------------------------------------
 
     def value(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        index = self._slot_of.get(name)
+        return 0 if index is None else self.values[index]
 
     def delta(self, name: str, start_mark: int, end_mark: int) -> int:
         """Counter difference between two marks."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.config import CoreConfig
 from repro.isa.encoding import unpack_frep
@@ -38,6 +39,10 @@ class DispatchedEntry:
     #: Set for instructions whose result must return to the integer core
     #: (FP compares, fp->int conversions, CSR/config reads).
     sync: bool = False
+    #: Pre-lowered issue micro-op (:func:`repro.core.uops.lower_fp`),
+    #: attached at dispatch by the scalar-v2 engine and lazily filled in
+    #: for entries that arrive without one.  Unused by the seed engine.
+    uop: Any = None
 
 
 class Sequencer:
@@ -55,6 +60,11 @@ class Sequencer:
         self._stagger_mask = 0
         self._buffer: list[DispatchedEntry] = []
         self._active = False
+        #: Staggered entry copies, memoized by (body index, register
+        #: offset): the rewrite depends only on those two, and offsets
+        #: cycle with period ``stagger_max + 1``, so each distinct copy
+        #: is built once per FREP instead of once per replay.
+        self._stagger_cache: dict[tuple[int, int], DispatchedEntry] = {}
         # Statistics.
         self.replayed_instrs = 0
 
@@ -147,6 +157,7 @@ class Sequencer:
         self._stagger_max = stagger_max
         self._stagger_mask = stagger_mask
         self._buffer = []
+        self._stagger_cache = {}
         self._active = True
 
     def _indices(self) -> tuple[int, int]:
@@ -169,7 +180,14 @@ class Sequencer:
         else:
             return None  # body instruction not yet dispatched
         if iter_idx and (self._stagger_mask and self._stagger_max):
-            entry = self._staggered(entry, iter_idx)
+            offset = iter_idx % (self._stagger_max + 1)
+            if offset:
+                key = (body_idx, offset)
+                staggered = self._stagger_cache.get(key)
+                if staggered is None:
+                    staggered = self._staggered(entry, iter_idx)
+                    self._stagger_cache[key] = staggered
+                entry = staggered
         return entry
 
     def advance(self) -> None:
@@ -186,6 +204,7 @@ class Sequencer:
         if self._pos >= self._body_len * self._iters:
             self._active = False
             self._buffer = []
+            self._stagger_cache = {}
 
     def _staggered(self, entry: DispatchedEntry,
                    iter_idx: int) -> DispatchedEntry:

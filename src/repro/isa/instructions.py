@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
+from functools import cached_property
 
 
 class InstrClass(Enum):
@@ -145,19 +146,22 @@ class Instr:
     #: Original source line, for diagnostics.
     source: str | None = field(default=None, repr=False)
 
-    @property
+    # The spec and timing class are functions of the (immutable)
+    # mnemonic alone; caching them turns the per-cycle property chains
+    # of the dispatch loop into plain attribute loads after first use.
+    @cached_property
     def spec(self) -> InstrSpec:
         return SPEC_TABLE[self.mnemonic]
 
-    @property
+    @cached_property
     def iclass(self) -> InstrClass:
         return self.spec.iclass
 
-    @property
+    @cached_property
     def is_fp(self) -> bool:
         return self.spec.is_fp
 
-    @property
+    @cached_property
     def is_fp_compute(self) -> bool:
         return self.spec.is_fp_compute
 

@@ -45,6 +45,11 @@ class TcdmPort:
         self.name = name
         self.priority = priority
         self.is_streamer = is_streamer
+        #: Rotation index used for round-robin tie-breaking; maintained
+        #: by :meth:`Tcdm.port` (the index of the *last* streamer port
+        #: registered under this port's name, mirroring the name-keyed
+        #: rotation table of the original arbitration loop).
+        self._rot_index: int | None = None
         self._pending: _Request | None = None
         self._response: float | int | None = None
         self._response_ready = False
@@ -131,6 +136,8 @@ class Tcdm:
         self.num_banks = num_banks
         self.bank_width = bank_width
         self._ports: list[TcdmPort] = []
+        self._streamer_ports: list[TcdmPort] = []
+        self._name_to_sidx: dict[str, int] = {}
         self._rr_offset = 0
         # Statistics.
         self.total_accesses = 0
@@ -142,6 +149,15 @@ class Tcdm:
         """Create and register a new requester port."""
         p = TcdmPort(name, priority, is_streamer)
         self._ports.append(p)
+        if is_streamer:
+            self._streamer_ports.append(p)
+            self._name_to_sidx[name] = len(self._streamer_ports) - 1
+            # A later streamer may shadow an earlier one's name, so the
+            # rotation indices of every port are refreshed.
+            for q in self._ports:
+                q._rot_index = self._name_to_sidx.get(q.name)
+        else:
+            p._rot_index = self._name_to_sidx.get(name)
         return p
 
     @property
@@ -159,7 +175,12 @@ class Tcdm:
         return (addr // self.bank_width) % self.num_banks
 
     def arbitrate(self) -> None:
-        """Resolve this cycle's requests (call once per cycle)."""
+        """Resolve this cycle's requests (call once per cycle).
+
+        This is the seed reference arbiter; :meth:`arbitrate_v2` is the
+        grant-for-grant identical fast variant used by the micro-op
+        engine.
+        """
         pending = [p for p in self._ports if p._pending is not None]
         if not pending:
             return
@@ -167,7 +188,7 @@ class Tcdm:
         # The rotation pointer advances only on contended streamer rounds,
         # so a lone streamer keeps full bandwidth while competing ones
         # alternate.
-        streamers = [p for p in self._ports if p.is_streamer]
+        streamers = self._streamer_ports
         rot = {}
         if streamers:
             n = len(streamers)
@@ -183,6 +204,88 @@ class Tcdm:
         granted_banks: set[int] = set()
         for p in sorted(pending, key=key):
             bank = self.bank_of(p._pending.addr)
+            if bank in granted_banks:
+                p.conflicts += 1
+                self.total_conflicts += 1
+                continue
+            granted_banks.add(bank)
+            p._grant(self.mem)
+            self.total_accesses += 1
+        self.busy_bank_cycles += len(granted_banks)
+
+    def arbitrate_v2(self) -> None:
+        """Grant-for-grant identical arbitration with the common request
+        counts (0, 1, 2) special-cased and the name-keyed rotation table
+        replaced by per-port rotation indices."""
+        pending = [p for p in self._ports if p._pending is not None]
+        if not pending:
+            return
+        if len(pending) == 1:
+            # A lone request always wins its bank, and the round-robin
+            # pointer only advances on contended streamer rounds, so the
+            # full arbitration dance is skipped.
+            p = pending[0]
+            p._grant(self.mem)
+            self.total_accesses += 1
+            self.busy_bank_cycles += 1
+            return
+        off = self._rr_offset
+        n = len(self._streamer_ports)
+        contended = 0
+        for p in pending:
+            if p.is_streamer:
+                contended += 1
+        if contended >= 2:
+            self._rr_offset = (off + 1) % n
+        bw = self.bank_width
+        nb = self.num_banks
+        if len(pending) == 2:
+            a, b = pending
+            ra, rb = a._rot_index, b._rot_index
+            if (b.priority, 0 if rb is None else (rb - off) % n) \
+                    < (a.priority, 0 if ra is None else (ra - off) % n):
+                a, b = b, a
+            mem = self.mem
+            req = a._pending
+            bank_a = (req.addr // bw) % nb
+            if req.is_write:
+                a._grant(mem)
+            else:
+                a._response = mem.read_f64(req.addr) if req.width == 8 \
+                    else mem.read_u32(req.addr) if req.width == 4 \
+                    else mem.read_u16(req.addr) if req.width == 2 \
+                    else mem.read_u8(req.addr)
+                a.reads += 1
+                a._pending = None
+                a._response_ready = True
+            req = b._pending
+            if (req.addr // bw) % nb == bank_a:
+                b.conflicts += 1
+                self.total_conflicts += 1
+                self.total_accesses += 1
+                self.busy_bank_cycles += 1
+            else:
+                if req.is_write:
+                    b._grant(mem)
+                else:
+                    b._response = mem.read_f64(req.addr) if req.width == 8 \
+                        else mem.read_u32(req.addr) if req.width == 4 \
+                        else mem.read_u16(req.addr) if req.width == 2 \
+                        else mem.read_u8(req.addr)
+                    b.reads += 1
+                    b._pending = None
+                    b._response_ready = True
+                self.total_accesses += 2
+                self.busy_bank_cycles += 2
+            return
+
+        def key(p: TcdmPort) -> tuple[int, int]:
+            r = p._rot_index
+            return (p.priority, 0 if r is None else (r - off) % n)
+
+        granted_banks: set[int] = set()
+        for p in sorted(pending, key=key):
+            bank = (p._pending.addr // bw) % nb
             if bank in granted_banks:
                 p.conflicts += 1
                 self.total_conflicts += 1

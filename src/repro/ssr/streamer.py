@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.mem.tcdm import Tcdm, TcdmPort
+from repro.mem.tcdm import Tcdm, TcdmPort, _Request
 from repro.ssr.address_gen import AffineGenerator, IndirectGenerator
 from repro.ssr.config import SsrConfig, SsrConfigSpace, SsrMode
 
@@ -152,6 +152,90 @@ class SsrStreamer:
             worked = self._step_read()
         else:
             worked = self._step_write()
+        if worked:
+            self.active_cycles += 1
+
+    def step_v2(self) -> None:
+        """Micro-op engine per-cycle path: one flattened pass over the
+        same actions as :meth:`step` (the caller guarantees an armed
+        stream), posting requests directly instead of through the
+        checked :meth:`~repro.mem.tcdm.TcdmPort.request` interface --
+        every guard the checked path enforces is established inline."""
+        cfg = self.cfg
+        port = self.data_port
+        worked = False
+        if cfg.mode == SsrMode.READ:
+            fifo = self._fifo
+            if port._response_ready:
+                port._response_ready = False
+                data = port._response
+                port._response = None
+                fifo.append(float(data))
+                self._data_requested = False
+                self.elements_moved += 1
+                worked = True
+            iport = self.idx_port
+            if iport._response_ready:
+                iport._response_ready = False
+                data = iport._response
+                iport._response = None
+                self._idx_fifo.append(int(data))
+                worked = True
+            if port._pending is None and not port._response_ready \
+                    and self.fifo_depth - len(fifo) \
+                    - (1 if self._data_requested else 0) > 0:
+                igen = self._igen
+                if igen is not None:
+                    addr = igen.data_addr(self._idx_fifo.popleft()) \
+                        if self._idx_fifo else None
+                else:
+                    gen = self._gen
+                    addr = None if gen._remaining == 0 else gen.next()
+                if addr is not None:
+                    port._pending = _Request(addr, False, None, 8)
+                    self._data_requested = True
+                    worked = True
+            igen = self._igen
+            if igen is not None and igen._pos < igen._count \
+                    and iport._pending is None \
+                    and not iport._response_ready \
+                    and len(self._idx_fifo) < self.fifo_depth:
+                idx_size = cfg.idx_size
+                iport._pending = _Request(
+                    cfg.idx_base + igen._pos * idx_size, False, None,
+                    idx_size)
+                igen._pos += 1
+                worked = True
+        else:
+            fifo = self._fifo
+            if port._response_ready:
+                port._response_ready = False
+                port._response = None
+                fifo.popleft()
+                self._pending_write_addr = None
+                self.elements_moved += 1
+                worked = True
+            if fifo and port._pending is None and not port._response_ready:
+                addr = self._pending_write_addr
+                if addr is None:
+                    addr = self._next_data_addr()
+                    if addr is None:
+                        # No resolvable address (index FIFO dry): the
+                        # cycle ends here -- including the index-fetch
+                        # launch below, exactly like the seed path.
+                        if worked:
+                            self.active_cycles += 1
+                        return
+                    self._pending_write_addr = addr
+                port._pending = _Request(addr, True, fifo[0], 8)
+                worked = True
+            igen = self._igen
+            if igen is not None and not igen.exhausted \
+                    and not self.idx_port.busy \
+                    and len(self._idx_fifo) < self.fifo_depth:
+                self.idx_port.request(igen.next_index_addr(),
+                                      width=cfg.idx_size)
+                worked = True
         if worked:
             self.active_cycles += 1
 

@@ -70,7 +70,8 @@ def execute_point(point: Point, base_cfg: CoreConfig | None = None,
                   engine: str | None = None) -> RunResult:
     """Run one point to completion in this process.
 
-    ``engine`` (``"auto"``/``"fast"``/``"scalar"``) overrides the
+    ``engine`` (``"auto"``/``"fast"``/``"scalar"``/``"scalar-v2"``)
+    overrides the
     config's execution-engine selection; ``None`` (and the default
     ``"auto"``) leaves the un-overridden path byte-identical to calling
     the eval runner directly.
@@ -231,10 +232,11 @@ class SweepRunner:
                  engine: str | None = None):
         if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
             cache = ResultCache(cache)
-        if engine is not None and engine not in ("auto", "fast", "scalar"):
+        if engine is not None and engine not in (
+                "auto", "fast", "scalar", "scalar-v2"):
             raise ValueError(
-                f"engine must be 'auto', 'fast' or 'scalar', got "
-                f"{engine!r}")
+                f"engine must be 'auto', 'fast', 'scalar' or "
+                f"'scalar-v2', got {engine!r}")
         self.cache = cache
         self.workers = workers
         self.timeout = timeout

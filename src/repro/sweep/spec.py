@@ -107,10 +107,10 @@ def _normalize_overrides(overrides) -> tuple[tuple[str, object], ...]:
                 f"unknown config override {key!r}; choose from: "
                 f"{', '.join(sorted(OVERRIDABLE_FIELDS))}")
         if key == "engine":
-            if value not in ("auto", "fast", "scalar"):
+            if value not in ("auto", "fast", "scalar", "scalar-v2"):
                 raise ValueError(
-                    f"override engine={value!r} must be 'auto', 'fast' "
-                    f"or 'scalar'")
+                    f"override engine={value!r} must be 'auto', 'fast', "
+                    f"'scalar' or 'scalar-v2'")
         elif not isinstance(value, (bool, int, float)):
             raise ValueError(
                 f"override {key}={value!r} must be a scalar")

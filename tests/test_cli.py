@@ -47,6 +47,24 @@ def test_run_partial_grid_exits():
         main(["run", "--nz", "2"])
 
 
+def test_profile_prints_hotspot_tables(capsys):
+    rc = main(["profile", "--kernel", "box3d1r", "--variant", "Chaining+",
+               "--nz", "2", "--ny", "3", "--nx", "8", "--top", "5",
+               "--engine", "scalar-v2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "engine=scalar-v2" in out
+    assert "correct=True" in out
+    assert "top 5 by cumulative" in out
+    assert "top 5 by tottime" in out
+    assert "ncalls" in out
+
+
+def test_profile_partial_grid_exits():
+    with pytest.raises(SystemExit, match="together"):
+        main(["profile", "--nz", "2"])
+
+
 def test_trace_chaining(capsys):
     assert main(["trace", "--variant", "chaining", "--n", "8",
                  "--slots", "12"]) == 0
