@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Weak scaling of a halo-exchange stencil across 1/2/4 clusters.
+
+Each cluster owns a fixed-size z-slab of the global grid, so the total
+problem grows with the cluster count; perfect weak scaling would keep
+the cycle count flat.  The gap between that ideal and the measured
+cycles is the scale-out tax: halo DMA through the shared global memory,
+interconnect bandwidth contention, and system-barrier waits between
+sweeps -- all of which the system model accounts per cluster.
+
+Run with:  python examples/multicluster_scaling.py
+"""
+
+from repro.eval.report import (
+    format_table,
+    scaling_rows,
+    system_summary_rows,
+)
+from repro.eval.system_runner import run_system_stencil
+from repro.kernels.layout import Grid3d
+from repro.kernels.variants import Variant
+
+KERNEL = "j3d27pt"
+SLAB = (4, 6, 16)        # per-cluster interior planes (nz, ny, nx)
+ITERS = 2                # halo-exchange sweeps
+CLUSTERS = (1, 2, 4)
+
+
+def main() -> None:
+    nz, ny, nx = SLAB
+    variant = Variant.from_label("Chaining+")
+    print(f"Weak scaling {KERNEL}/{variant.label}: "
+          f"{nz}x{ny}x{nx} interior per cluster, {ITERS} sweeps\n")
+    results = {}
+    for num_clusters in CLUSTERS:
+        grid = Grid3d(nz * num_clusters, ny, nx)
+        result = run_system_stencil(KERNEL, variant, grid=grid,
+                                    num_clusters=num_clusters,
+                                    iters=ITERS)
+        assert result.correct, f"{num_clusters} clusters: wrong result"
+        results[num_clusters] = result
+    rows = []
+    for row in scaling_rows(results, weak=True):
+        num_clusters, cycles, speedup, efficiency = row
+        meta = results[num_clusters].meta
+        rows.append([
+            num_clusters,
+            f"{nz * num_clusters}x{ny}x{nx}", cycles, efficiency,
+            speedup,
+            meta["gmem_bytes_read"] + meta["gmem_bytes_written"],
+            meta["interconnect_contended_cycles"],
+        ])
+    last = results[CLUSTERS[-1]]
+    print(format_table(
+        ["clusters", "grid", "cycles", "weak eff", "speedup",
+         "gmem bytes", "contended"],
+        rows, title="weak scaling (fixed work per cluster)"))
+    print()
+    util = last.fpu_utilization
+    print(f"{CLUSTERS[-1]}-cluster run: aggregate FPU utilization "
+          f"{util:.3f}, {last.power_mw:.1f} mW, "
+          f"{last.gflops_per_watt:.1f} Gflop/s/W")
+    print("Weak efficiency < 1 is the scale-out tax: halo DMA latency,")
+    print("global-memory bandwidth sharing, and barrier skew.")
+
+
+def show_per_cluster() -> None:  # pragma: no cover - illustrative
+    """Per-cluster breakdown of one 4-cluster run (library tour)."""
+    from repro.core.config import SystemConfig
+    from repro.kernels.partition import build_partitioned_stencil
+    from repro.kernels.registry import get_stencil
+    from repro.system import System
+
+    spec, _ = get_stencil(KERNEL)
+    cfg = SystemConfig(num_clusters=4)
+    build = build_partitioned_stencil(
+        spec, Grid3d(4 * SLAB[0], SLAB[1], SLAB[2]),
+        Variant.from_label("Chaining+"), 4, cfg=cfg, iters=ITERS)
+    system = System(build.asms, cfg)
+    build.load_into(system)
+    system.run()
+    print(format_table(
+        ["cluster", "cycles", "fpu util", "fpu ops", "dma bytes",
+         "barrier stalls"],
+        system_summary_rows(system), title="per-cluster breakdown"))
+
+
+if __name__ == "__main__":
+    main()

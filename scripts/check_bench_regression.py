@@ -33,7 +33,8 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 #: Benchmarks gated by default (regex fragments matched against names).
-GATED = ("fastpath", "fig1", "vecop_wallclock", "scalar_v2")
+GATED = ("fastpath", "fig1", "vecop_wallclock", "scalar_v2",
+         "system_scaling")
 
 
 def calibrate(rounds: int = 5) -> float:

@@ -24,12 +24,16 @@ Package map:
 * :mod:`repro.eval`    -- run harness and figure regeneration
 * :mod:`repro.sweep`   -- experiment campaigns: declarative sweeps,
   parallel execution, content-addressed result caching, aggregation
+* :mod:`repro.system`  -- multi-cluster scale-out: shared global
+  memory, inter-cluster DMA arbitration, system barrier, and the
+  halo-exchange domain decomposition in :mod:`repro.kernels.partition`
 * :mod:`repro.trace`   -- issue traces (Fig. 1c) and dataflow (Fig. 2)
 """
 
-from repro.core import ChainController, Cluster, CoreConfig
+from repro.core import ChainController, Cluster, CoreConfig, SystemConfig
 from repro.energy import AreaModel, EnergyModel, EnergyParams
 from repro.eval import RunResult, geomean, run_build, run_stencil_variant
+from repro.eval.system_runner import run_system_stencil
 from repro.isa import assemble, decode, disassemble, encode
 from repro.kernels import (
     Grid3d,
@@ -43,6 +47,8 @@ from repro.kernels import (
     j3d27pt,
     star3d1r,
 )
+from repro.kernels.partition import build_partitioned_stencil
+from repro.system import GLOBAL_BASE, System
 from repro.sweep import (
     Campaign,
     Point,
@@ -53,7 +59,7 @@ from repro.sweep import (
 )
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AreaModel",
@@ -63,6 +69,7 @@ __all__ = [
     "CoreConfig",
     "EnergyModel",
     "EnergyParams",
+    "GLOBAL_BASE",
     "Grid3d",
     "KernelBuild",
     "Point",
@@ -71,12 +78,15 @@ __all__ = [
     "StencilSpec",
     "SweepRunner",
     "SweepSpec",
+    "System",
+    "SystemConfig",
     "TraceRecorder",
     "Variant",
     "VecopVariant",
     "__version__",
     "assemble",
     "box3d1r",
+    "build_partitioned_stencil",
     "build_stencil",
     "build_vecop",
     "decode",
@@ -89,5 +99,6 @@ __all__ = [
     "render_issue_trace",
     "run_build",
     "run_stencil_variant",
+    "run_system_stencil",
     "star3d1r",
 ]

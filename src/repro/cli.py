@@ -48,6 +48,7 @@ from repro.sweep import (
     RESULT_METRICS,
     SweepRunner,
     SweepSpec,
+    make_point,
     normalize_variant,
     preset_points,
     speedup_vs_baseline,
@@ -143,10 +144,43 @@ def cmd_run(args) -> int:
         if not (args.nz and args.ny and args.nx):
             raise SystemExit("--nz/--ny/--nx must be given together")
         grid = Grid3d(nz=args.nz, ny=args.ny, nx=args.nx)
-    result = run_stencil_variant(args.kernel, variant, grid=grid)
+    if args.num_clusters < 1:
+        raise SystemExit(f"--num-clusters must be >= 1, got "
+                         f"{args.num_clusters}")
+    if args.iters < 1:
+        raise SystemExit(f"--iters must be >= 1, got {args.iters}")
+    system = (args.num_clusters > 1 or args.iters > 1
+              or args.gmem_latency is not None
+              or args.gmem_banks is not None
+              or args.link_bytes is not None)
+    if system:
+        from repro.eval.system_runner import (
+            make_system_config,
+            run_system_stencil,
+        )
+
+        try:
+            sys_cfg = make_system_config(
+                args.num_clusters, gmem_latency=args.gmem_latency,
+                gmem_banks=args.gmem_banks,
+                link_bytes_per_cycle=args.link_bytes)
+            result = run_system_stencil(
+                args.kernel, variant, grid=grid,
+                num_clusters=args.num_clusters, sys_cfg=sys_cfg,
+                iters=args.iters)
+        except (ValueError, AssertionError) as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        result = run_stencil_variant(args.kernel, variant, grid=grid)
     record = _result_record(result)
+    if system:
+        for key in ("num_clusters", "iters", "per_cluster_cycles",
+                    "sys_barriers", "gmem_bytes_read",
+                    "gmem_bytes_written",
+                    "interconnect_contended_cycles"):
+            record[key] = result.meta[key]
     for key, value in record.items():
-        print(f"{key:18s} {value}")
+        print(f"{key:30s} {value}" if system else f"{key:18s} {value}")
     _maybe_write_json(args.json, record)
     return 0 if result.correct else 1
 
@@ -209,6 +243,7 @@ def cmd_sweep(args) -> int:
         title = f"sweep {spec.name!r} from {args.spec}"
     if not points:
         raise SystemExit("spec expands to zero points")
+    points = _apply_system_axes(args, points)
 
     runner = SweepRunner(
         cache=None if args.no_cache else args.cache_dir,
@@ -268,11 +303,42 @@ def cmd_sweep(args) -> int:
     return 0 if not failed else 1
 
 
+def _apply_system_axes(args, points):
+    """Merge CLI-level multi-cluster axes into every stencil point."""
+    axes = {}
+    if args.num_clusters is not None:
+        axes["num_clusters"] = args.num_clusters
+    if args.iters is not None:
+        axes["iters"] = args.iters
+    if args.gmem_latency is not None:
+        axes["gmem_latency"] = args.gmem_latency
+    if args.link_bytes is not None:
+        axes["link_bytes_per_cycle"] = args.link_bytes
+    if not axes:
+        return points
+    merged_points = []
+    for point in points:
+        if point.is_vecop:
+            merged_points.append(point)
+            continue
+        merged = dict(point.system)
+        merged.update(axes)
+        try:
+            merged_points.append(make_point(
+                point.kernel, point.variant, grid=point.grid,
+                unroll=point.unroll,
+                overrides=dict(point.overrides) or None,
+                system=merged))
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    return merged_points
+
+
 def _write_sweep_csv(path: str, campaign) -> None:
     fields = ["kernel", "variant", "grid", "n", "loop_mode", "unroll",
-              "overrides", "status", "cached", "seconds", "cycles",
-              "region_cycles", "fpu_utilization", "power_mw", "gflops",
-              "gflops_per_watt"]
+              "overrides", "system", "status", "cached", "seconds",
+              "cycles", "region_cycles", "fpu_utilization", "power_mw",
+              "gflops", "gflops_per_watt"]
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(fields)
@@ -286,6 +352,7 @@ def _write_sweep_csv(path: str, campaign) -> None:
                 point.loop_mode or "",
                 point.unroll if point.unroll is not None else "",
                 ";".join(f"{k}={v}" for k, v in point.overrides),
+                ";".join(f"{k}={v}" for k, v in point.system),
                 outcome.status, int(outcome.cached),
                 round(outcome.seconds, 4),
                 res.cycles if res else "",
@@ -372,6 +439,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nz", type=int)
     p.add_argument("--ny", type=int)
     p.add_argument("--nx", type=int)
+    p.add_argument("--num-clusters", type=int, default=1,
+                   help="run on a multi-cluster system with this many "
+                        "clusters (domain-decomposed halo exchange)")
+    p.add_argument("--iters", type=int, default=1,
+                   help="halo-exchange sweeps (system runs)")
+    p.add_argument("--gmem-latency", type=int, default=None,
+                   help="global-memory access latency in cycles")
+    p.add_argument("--gmem-banks", type=int, default=None,
+                   help="global-memory bank count (bandwidth scale)")
+    p.add_argument("--link-bytes", type=int, default=None,
+                   help="per-cluster interconnect link bytes/cycle")
     p.add_argument("--json")
     p.set_defaults(func=cmd_run)
 
@@ -409,6 +487,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference, 'auto' composes fast + scalar-v2, "
                         "default: config's own choice); "
                         "part of the result-cache key")
+    p.add_argument("--num-clusters", type=int, default=None,
+                   help="run every stencil point on this many clusters "
+                        "(adds the system axes to labels + cache keys)")
+    p.add_argument("--iters", type=int, default=None,
+                   help="halo-exchange sweeps for multi-cluster points")
+    p.add_argument("--gmem-latency", type=int, default=None,
+                   help="global-memory access latency override")
+    p.add_argument("--link-bytes", type=int, default=None,
+                   help="per-cluster interconnect link bytes/cycle")
     p.add_argument("--baseline",
                    help="variant label for geomean-vs-baseline table")
     p.add_argument("--metric", default="region_cycles",

@@ -8,7 +8,7 @@ per-class latencies, the FREP hardware loop, SSR streamers, and the paper's
 contribution — *scalar chaining* — in :mod:`repro.core.chaining`.
 """
 
-from repro.core.config import CoreConfig
+from repro.core.config import CoreConfig, SystemConfig
 from repro.core.chaining import ChainController
 from repro.core.cluster import Cluster
 from repro.core.perf import PerfCounters, StallReason
@@ -19,4 +19,5 @@ __all__ = [
     "CoreConfig",
     "PerfCounters",
     "StallReason",
+    "SystemConfig",
 ]

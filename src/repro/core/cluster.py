@@ -191,12 +191,18 @@ class Cluster:
         """Open the cluster barrier once every live core has arrived.
 
         Cores that already halted count as arrived; a single-core
-        barrier opens immediately on the next cycle.
+        barrier opens immediately on the next cycle.  Cores parked at
+        the *system* barrier are outside the cluster's authority: they
+        have not arrived at the local barrier and are never released
+        here (the surrounding :class:`repro.system.System` opens the
+        system barrier once every cluster has arrived).
         """
-        waiting = [c for c in self.cores if c.barrier_wait]
+        waiting = [c for c in self.cores
+                   if c.barrier_wait and not c.sys_barrier_wait]
         if not waiting:
             return
-        if all(c.halted or c.barrier_wait for c in self.cores):
+        if all(c.halted or (c.barrier_wait and not c.sys_barrier_wait)
+               for c in self.cores):
             for core in waiting:
                 core.barrier_wait = False
             self.perf.bump("barriers")
@@ -549,8 +555,16 @@ class Cluster:
                 horizon = h
         return horizon
 
-    def _dead_horizon(self):
-        """First cycle at which any cluster state can change, or None."""
+    def _dead_horizon(self, external: int | None = None):
+        """First cycle at which any cluster state can change, or None.
+
+        ``external`` is an externally-known bound on the span (the next
+        cycle at which the *environment* -- a sibling cluster in a
+        :class:`repro.system.System` -- can interact with this cluster);
+        it clamps the horizon, which also makes indefinitely-parked
+        states (every core halted or waiting at the system barrier,
+        horizon would be infinite) fast-forwardable up to that bound.
+        """
         cycle = self.cycle
         horizon = _INF
         dma = self.dma
@@ -565,10 +579,18 @@ class Cluster:
                 return None
             if h < horizon:
                 horizon = h
-            any_barrier = any_barrier or core.barrier_wait
-        if any_barrier and all(c.halted or c.barrier_wait
+            any_barrier = any_barrier or (core.barrier_wait
+                                          and not core.sys_barrier_wait)
+        # Mirror _release_barrier exactly: a core parked at the *system*
+        # barrier has not arrived at the local one, so it blocks the
+        # local release rather than triggering it.
+        if any_barrier and all(c.halted
+                               or (c.barrier_wait
+                                   and not c.sys_barrier_wait)
                                for c in self.cores):
             return None  # the barrier opens this very cycle
+        if external is not None and external < horizon:
+            horizon = external
         if horizon >= _INF or horizon <= cycle + 1:
             return None
         return horizon
@@ -603,9 +625,10 @@ class Cluster:
                     s.elements_moved, s.active_cycles))
         return parts
 
-    def _try_fast_forward(self, max_cycles: int) -> bool:
+    def _try_fast_forward(self, max_cycles: int,
+                          external: int | None = None) -> bool:
         """Jump over a provably-dead span; False when none exists."""
-        horizon = self._dead_horizon()
+        horizon = self._dead_horizon(external)
         if horizon is None:
             return False
         start = self.cycle

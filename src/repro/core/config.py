@@ -134,3 +134,69 @@ class CoreConfig:
     def uses_uops(self) -> bool:
         """True when the micro-op (scalar-v2) engine drives the cores."""
         return self.engine in ("auto", "scalar-v2")
+
+
+@dataclass
+class SystemConfig:
+    """A multi-cluster system: N clusters + global memory + interconnect.
+
+    The defaults model a small Occamy-style scale-out: identical Snitch
+    clusters attached through per-cluster links to a banked, HBM-like
+    global memory.  Compute cores never touch global memory directly --
+    all traffic goes through each cluster's DMA engine (addresses at or
+    above :data:`repro.system.GLOBAL_BASE` select the global memory).
+    """
+
+    #: Number of compute clusters.
+    num_clusters: int = 1
+
+    #: Per-cluster core/cluster configuration (shared by all clusters).
+    core: CoreConfig = field(default_factory=CoreConfig)
+
+    #: Global (HBM-like) memory capacity in bytes.
+    gmem_size: int = 1 << 24
+
+    #: Global memory banking: aggregate peak bandwidth is
+    #: ``gmem_banks * gmem_bank_bytes_per_cycle`` bytes per cycle,
+    #: shared by all concurrently-active cluster DMAs.
+    gmem_banks: int = 8
+    gmem_bank_bytes_per_cycle: int = 8
+
+    #: Access latency charged once at the start of every DMA transfer
+    #: that touches global memory (row activation + interconnect
+    #: traversal), in cycles.
+    gmem_latency: int = 20
+
+    #: Per-cluster interconnect link width in bytes per cycle; caps a
+    #: single cluster's share of the global-memory bandwidth.
+    link_bytes_per_cycle: int = 64
+
+    @property
+    def gmem_bytes_per_cycle(self) -> int:
+        """Aggregate global-memory peak bandwidth (bytes per cycle)."""
+        return self.gmem_banks * self.gmem_bank_bytes_per_cycle
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent configurations."""
+        if self.num_clusters < 1:
+            raise ValueError(
+                f"num_clusters must be >= 1, got {self.num_clusters}")
+        if self.gmem_size <= 0 or self.gmem_size % 8:
+            raise ValueError(
+                f"gmem_size must be a positive multiple of 8, got "
+                f"{self.gmem_size}")
+        if self.gmem_banks < 1:
+            raise ValueError(f"gmem_banks must be >= 1, got "
+                             f"{self.gmem_banks}")
+        if self.gmem_bank_bytes_per_cycle < 8:
+            raise ValueError(
+                f"gmem_bank_bytes_per_cycle must be >= 8, got "
+                f"{self.gmem_bank_bytes_per_cycle}")
+        if self.gmem_latency < 0:
+            raise ValueError(f"gmem_latency must be >= 0, got "
+                             f"{self.gmem_latency}")
+        if self.link_bytes_per_cycle < 8:
+            raise ValueError(
+                f"link_bytes_per_cycle must be >= 8, got "
+                f"{self.link_bytes_per_cycle}")
+        self.core.validate()

@@ -91,6 +91,11 @@ class IntCore:
         #: Set by a BARRIER CSR write; cleared by the cluster when every
         #: core has arrived.
         self.barrier_wait = False
+        #: Set (together with ``barrier_wait``) by a SYS_BARRIER CSR
+        #: write; cleared only by the surrounding System once every core
+        #: of every cluster has arrived.  The cluster-local barrier
+        #: release skips cores parked here.
+        self.sys_barrier_wait = False
         self.regs = IntRegFile()
         self.pc = program.base
         self.halted = False
@@ -128,6 +133,7 @@ class IntCore:
         self.stall_until = 0
         self.waiting_sync = None
         self.barrier_wait = False
+        self.sys_barrier_wait = False
         self._pending_load_rd = None
         self._decode_cache.clear()
         # Micro-ops capture per-instruction state, so they are keyed to
@@ -535,5 +541,9 @@ class IntCore:
         elif instr.csr == CSR.BARRIER:
             if instr.mnemonic in ("csrrw", "csrrwi", "csrrs", "csrrsi"):
                 self.barrier_wait = True
+        elif instr.csr == CSR.SYS_BARRIER:
+            if instr.mnemonic in ("csrrw", "csrrwi", "csrrs", "csrrsi"):
+                self.barrier_wait = True
+                self.sys_barrier_wait = True
         if instr.rd:
             regs.write(instr.rd, old, ready_cycle=cycle + 1)

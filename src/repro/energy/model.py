@@ -49,6 +49,12 @@ class EnergyParams:
     tcdm_access32: float = 10.0     # 32-bit accesses (indices, int LSU)
     dma_per_byte: float = 0.9       # wide DMA transfers, per byte
     static_pj_per_cycle: float = 16.0   # leakage + clock tree @ 1 GHz
+    # Multi-cluster (repro.system) terms: global-memory access energy is
+    # charged per byte moved through the HBM-like interface (DRAM-class,
+    # an order of magnitude above a TCDM access), plus a static term for
+    # the shared uncore (interconnect + memory controller).
+    gmem_per_byte: float = 10.0
+    uncore_static_pj_per_cycle: float = 8.0
 
 
 @dataclass
@@ -119,6 +125,27 @@ class EnergyModel:
         breakdown["dma"] = (dma.bytes_moved if dma else 0) * p.dma_per_byte
         breakdown["static"] = cycles * p.static_pj_per_cycle
 
+        total = sum(breakdown.values())
+        return EnergyReport(total, cycles, self.cfg.clock_hz, breakdown)
+
+    def system_report(self, system) -> EnergyReport:
+        """Energy report for a completed multi-cluster system run.
+
+        Per-cluster events are charged exactly as in :meth:`report`
+        (each cluster's static term runs for its own cycle count), then
+        the system-level terms are added: global-memory traffic and the
+        uncore static power over the whole-system runtime.
+        """
+        p = self.params
+        breakdown: dict[str, float] = {}
+        for cluster in system.clusters:
+            for component, energy in self.report(cluster) \
+                    .breakdown.items():
+                breakdown[component] = breakdown.get(component, 0.0) \
+                    + energy
+        cycles = max((cl.cycle for cl in system.clusters), default=0)
+        breakdown["gmem"] = system.gmem.bytes_moved * p.gmem_per_byte
+        breakdown["uncore_static"] = cycles * p.uncore_static_pj_per_cycle
         total = sum(breakdown.values())
         return EnergyReport(total, cycles, self.cfg.clock_hz, breakdown)
 

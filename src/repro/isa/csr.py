@@ -45,6 +45,12 @@ class CSR(IntEnum):
     # non-halted core in the cluster has arrived (Snitch clusters provide
     # an equivalent hardware synchronization primitive).
     BARRIER = 0x7C6
+    # System-wide barrier: a write blocks the core until every non-halted
+    # core in *every* cluster of the surrounding :class:`repro.system
+    # .System` has arrived.  Released by the system, never by the
+    # cluster; writing it on a standalone cluster therefore hangs (the
+    # multi-cluster halo-exchange programs are system programs).
+    SYS_BARRIER = 0x7C7
 
 
 #: CSRs that configure the FP subsystem.  Writes to these must stay ordered

@@ -1,0 +1,304 @@
+"""Domain decomposition: stencil grids tiled across a multi-cluster system.
+
+The 3-D grid is split into contiguous z-slabs, one per cluster (z is the
+outermost, plane-contiguous dimension, so a slab *plus its halo* is one
+contiguous byte range of the global padded grid and loads with a single
+1-D DMA transfer).  Each cluster runs the same phase schedule per sweep,
+built on the double-buffering idiom of
+``examples/dma_double_buffering.py`` (DMA in, poll ``dmstat``, compute,
+DMA out) plus the system barrier:
+
+1. **load** -- DMA the slab + halo from the current global read buffer
+   into the cluster-local padded tile;
+2. **compute** -- the unmodified single-cluster stencil compute section
+   (:func:`repro.kernels.stencil_codegen.emit_tile_compute`) over the
+   local tile;
+3. **store** -- DMA the tile *interior* back to the global write buffer
+   (one 2-D transfer per plane: interior rows only, so the global
+   boundary ring is never touched);
+4. **exchange** -- system barrier (between sweeps only), after which the
+   read/write buffers swap.  The next load then picks up the halo
+   planes the neighboring clusters just wrote -- the halo exchange is
+   mediated by global memory, there are no direct cluster-to-cluster
+   copies.
+
+Because every output point is computed from the same float64 inputs in
+the same tap order as the single-cluster kernel, the reassembled global
+grid is bit-identical for every cluster count -- the invariant the
+differential suite (``tests/test_system_scaling.py``) enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.kernels.layout import DOUBLE, Grid3d
+from repro.kernels.stencil import StencilSpec
+from repro.kernels.stencil_codegen import emit_tile_compute
+from repro.kernels.variants import Variant
+from repro.mem.memory import Allocator
+from repro.system.system import GLOBAL_BASE
+
+#: Max in-flight store-phase transfers before polling (queue depth is 4;
+#: keeping one slot free makes ``dmcpy`` retry-free).
+_STORE_BATCH = 3
+
+
+def split_slabs(nz: int, num_clusters: int) -> list[tuple[int, int]]:
+    """Partition ``nz`` interior planes into per-cluster ``(z0, tz)`` slabs.
+
+    The remainder goes to the first ``nz % num_clusters`` slabs, so slab
+    sizes differ by at most one plane.
+    """
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if nz < num_clusters:
+        raise ValueError(
+            f"cannot split nz={nz} interior planes across "
+            f"{num_clusters} clusters; every cluster needs at least one")
+    base, extra = divmod(nz, num_clusters)
+    slabs = []
+    z0 = 0
+    for index in range(num_clusters):
+        tz = base + (1 if index < extra else 0)
+        slabs.append((z0, tz))
+        z0 += tz
+    return slabs
+
+
+def iterated_golden(spec: StencilSpec, padded: np.ndarray,
+                    iters: int) -> np.ndarray:
+    """Numpy golden model for ``iters`` Jacobi-style sweeps.
+
+    Each sweep recomputes the interior from the previous grid; the
+    boundary ring is a fixed (Dirichlet) condition carried over
+    unchanged -- exactly what the ping-pong global buffers implement.
+    """
+    if iters < 1:
+        raise ValueError(f"iters must be >= 1, got {iters}")
+    grid = np.asarray(padded, dtype=np.float64).copy()
+    r = spec.radius
+    for _ in range(iters):
+        interior = spec.golden(grid)
+        grid = grid.copy()
+        grid[r:grid.shape[0] - r, r:grid.shape[1] - r,
+             r:grid.shape[2] - r] = interior
+    return grid
+
+
+@dataclass
+class SystemBuild:
+    """Everything needed to run one partitioned stencil and check it."""
+
+    name: str
+    #: One program per cluster (cluster ``i`` runs ``asms[i]``).
+    asms: list[str]
+    #: Per-cluster ``(local address, array)`` pairs (coefficients and
+    #: the indirect-index pattern; tile data arrives by DMA).
+    local_arrays: list[list[tuple[int, np.ndarray]]]
+    #: ``(absolute global address, array)`` pairs for the global memory.
+    gmem_arrays: list[tuple[int, np.ndarray]]
+    #: Where the final sweep's result lives (absolute global address).
+    output_addr: int
+    output_shape: tuple[int, ...]
+    #: Bit-exact expected output (full padded grid after all sweeps).
+    golden: np.ndarray
+    #: Tile assignment: cluster ``i`` computes slab ``tiles[i]``.
+    tiles: list[tuple[int, int]]
+    meta: dict = field(default_factory=dict)
+
+    def load_into(self, system) -> None:
+        """Place global buffers and per-cluster constants."""
+        for addr, array in self.gmem_arrays:
+            system.gmem.write_array(addr, array)
+        for cluster, arrays in zip(system.clusters, self.local_arrays):
+            for addr, array in arrays:
+                if array.dtype == np.float64:
+                    cluster.load_f64(addr, array)
+                elif array.dtype == np.uint32:
+                    cluster.load_u32(addr, array)
+                else:
+                    raise TypeError(
+                        f"unsupported array dtype {array.dtype}")
+
+    def read_output(self, system) -> np.ndarray:
+        return system.gmem.read_array(self.output_addr,
+                                      self.output_shape)
+
+    def check(self, system) -> bool:
+        """Bit-exact comparison against the iterated golden model."""
+        return np.array_equal(self.read_output(system), self.golden)
+
+
+def build_partitioned_stencil(
+        spec: StencilSpec, grid: Grid3d, variant: Variant,
+        num_clusters: int, unroll: int = 4,
+        cfg: SystemConfig | None = None, iters: int = 1, seed: int = 1,
+        tile_order: list[int] | None = None) -> SystemBuild:
+    """Build the per-cluster halo-exchange programs for one stencil.
+
+    ``tile_order[i]`` names the slab cluster ``i`` computes (default:
+    identity).  Any permutation produces the same global output and --
+    because the interconnect arbitration is ID-agnostic -- the same
+    multiset of per-cluster cycle counts, which the property suite
+    checks.
+    """
+    cfg = cfg or SystemConfig(num_clusters=num_clusters)
+    if cfg.num_clusters != num_clusters:
+        raise ValueError(
+            f"cfg.num_clusters={cfg.num_clusters} but "
+            f"num_clusters={num_clusters}")
+    if grid.radius < spec.radius:
+        raise ValueError(f"grid radius {grid.radius} < stencil radius "
+                         f"{spec.radius}")
+    slabs = split_slabs(grid.nz, num_clusters)
+    if tile_order is None:
+        tile_order = list(range(num_clusters))
+    if sorted(tile_order) != list(range(num_clusters)):
+        raise ValueError(
+            f"tile_order {tile_order!r} is not a permutation of "
+            f"0..{num_clusters - 1}")
+
+    # Global layout: two ping-pong full padded grids.  Sweep t reads
+    # buffer t%2 and writes buffer (t+1)%2; both start as the input grid
+    # so the fixed boundary ring is present in either.
+    total_bytes = grid.total_bytes
+    g_bufs = (GLOBAL_BASE, GLOBAL_BASE + total_bytes)
+    if 2 * total_bytes > cfg.gmem_size:
+        raise ValueError(
+            f"two padded {grid.shape_padded} grids need "
+            f"{2 * total_bytes} bytes of global memory; configured "
+            f"gmem_size={cfg.gmem_size}")
+
+    grid_in = grid.make_input(seed)
+    golden = iterated_golden(spec, grid_in, iters)
+
+    asms: list[str] = []
+    local_arrays: list[list[tuple[int, np.ndarray]]] = []
+    for cluster_index in range(num_clusters):
+        z0, tz = slabs[tile_order[cluster_index]]
+        asm, arrays = _emit_cluster_program(
+            spec, grid, Grid3d(tz, grid.ny, grid.nx, grid.radius), z0,
+            variant, unroll, cfg, iters, g_bufs)
+        asms.append(asm)
+        local_arrays.append(arrays)
+
+    points = grid.points
+    meta = {
+        "kernel": spec.name,
+        "variant": variant.label,
+        "unroll": unroll,
+        "num_clusters": num_clusters,
+        "iters": iters,
+        "points": points,
+        "flops": spec.flops_per_point * points * iters,
+        "tiles": [slabs[tile_order[i]] for i in range(num_clusters)],
+        "halo_bytes_per_sweep": sum(
+            (tz + 2 * grid.radius) * grid.plane_bytes
+            for _, tz in slabs),
+        "interior_bytes_per_sweep": sum(
+            tz * grid.ny * grid.nx * DOUBLE for _, tz in slabs),
+    }
+    return SystemBuild(
+        name=f"{spec.name}/{variant.label}@{num_clusters}c",
+        asms=asms,
+        local_arrays=local_arrays,
+        gmem_arrays=[(g_bufs[0], grid_in), (g_bufs[1], grid_in)],
+        output_addr=g_bufs[iters % 2],
+        output_shape=grid.shape_padded,
+        golden=golden,
+        tiles=[slabs[tile_order[i]] for i in range(num_clusters)],
+        meta=meta,
+    )
+
+
+def _emit_cluster_program(spec: StencilSpec, grid: Grid3d, tile: Grid3d,
+                          z0: int, variant: Variant, unroll: int,
+                          cfg: SystemConfig, iters: int,
+                          g_bufs: tuple[int, int]) -> tuple[str, list]:
+    """One cluster's program: ``iters`` load/compute/store/barrier phases."""
+    alloc = Allocator(0x1000)
+    a_in = alloc.alloc_f64(int(np.prod(tile.shape_padded)))
+    a_out = alloc.alloc_f64(int(np.prod(tile.shape_padded)))
+    a_coef = alloc.alloc_f64(spec.ntaps)
+    # The tile-relative index pattern is sweep-invariant; its size is
+    # (nx // unroll) * ntaps * unroll entries, so the slot can be
+    # reserved before the first emission returns the pattern itself
+    # (emit_tile_compute validates nx % unroll before it matters).
+    a_idx = alloc.alloc(
+        4 * (tile.nx // unroll) * spec.ntaps * unroll, align=4)
+    idx = None
+    halo_bytes = tile.shape_padded[0] * grid.plane_bytes
+
+    lines: list[str] = [
+        f"    # {spec.name} / {variant.label} slab z0={z0} "
+        f"tz={tile.nz} ({iters} sweep{'s' if iters > 1 else ''})"]
+    emit = lines.append
+    for sweep in range(iters):
+        src_buf = g_bufs[sweep % 2]
+        dst_buf = g_bufs[(sweep + 1) % 2]
+        prefix = f"t{sweep}_"
+        # ---- load: slab + halo, one contiguous 1-D transfer ----------
+        emit(f"    # sweep {sweep}: load slab+halo from "
+             f"{src_buf:#x}")
+        emit(f"    li t0, {src_buf + z0 * grid.plane_bytes}")
+        emit("    dmsrc t0")
+        emit(f"    li t0, {a_in}")
+        emit("    dmdst t0")
+        emit("    li t0, 1")
+        emit("    dmrep t0")
+        emit(f"    li t1, {halo_bytes}")
+        emit("    dmcpy a0, t1")
+        _emit_wait(emit, f"{prefix}wld")
+        # ---- compute: the single-cluster kernel over the tile --------
+        asm, tile_idx = emit_tile_compute(
+            spec, tile, variant, unroll=unroll, cfg=cfg.core,
+            a_in=a_in, a_out=a_out, a_coef=a_coef, a_idx=a_idx,
+            label_prefix=prefix)
+        if idx is None:
+            idx = tile_idx
+        emit(asm)
+        # ---- store: interior rows only, one 2-D transfer per plane ---
+        emit(f"    # sweep {sweep}: store interior to {dst_buf:#x}")
+        emit(f"    li t0, {tile.row_bytes}")
+        emit(f"    li t1, {grid.row_bytes}")
+        emit("    dmstr t0, t1")
+        emit(f"    li t0, {tile.ny}")
+        emit("    dmrep t0")
+        in_flight = 0
+        for z in range(tile.nz):
+            emit(f"    li t0, {a_out + tile.interior_offset(z, 0, 0)}")
+            emit("    dmsrc t0")
+            dst = dst_buf + grid.interior_offset(z0 + z, 0, 0)
+            emit(f"    li t0, {dst}")
+            emit("    dmdst t0")
+            emit(f"    li t1, {tile.nx * DOUBLE}")
+            emit("    dmcpy a0, t1")
+            in_flight += 1
+            if in_flight == _STORE_BATCH and z + 1 < tile.nz:
+                _emit_wait(emit, f"{prefix}wst{z}")
+                in_flight = 0
+        _emit_wait(emit, f"{prefix}wst")
+        # ---- exchange: system barrier between sweeps -----------------
+        if sweep + 1 < iters:
+            emit("    csrrwi x0, 0x7C7, 1    # system barrier")
+    emit("    ebreak")
+    if alloc.used > cfg.core.mem_size:
+        raise ValueError(
+            f"tile {tile.shape_padded} needs {alloc.used} bytes of "
+            f"cluster memory; configured mem_size={cfg.core.mem_size}")
+    arrays = [
+        (a_coef, np.array(spec.coeffs)),
+        (a_idx, idx),
+    ]
+    return "\n".join(lines) + "\n", arrays
+
+
+def _emit_wait(emit, label: str) -> None:
+    """Spin on ``dmstat`` until the DMA queue drains."""
+    emit(f"{label}:")
+    emit("    dmstat a1")
+    emit(f"    bnez a1, {label}")

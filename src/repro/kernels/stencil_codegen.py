@@ -144,6 +144,55 @@ def _index_pattern(spec: StencilSpec, grid: Grid3d, unroll: int,
 def _emit(spec: StencilSpec, grid: Grid3d, variant: Variant,
           plan: RegisterPlan, cfg: CoreConfig, nbx: int, *, a_in: int,
           a_out: int, a_coef: int, a_idx: int, n_idx: int) -> str:
+    lines: list[str] = [f"    # {spec.name} / {variant.label} "
+                        f"(unroll {plan.unroll}, {spec.ntaps} taps)"]
+    _emit_compute(lines.append, spec, grid, variant, plan, nbx,
+                  a_in=a_in, a_out=a_out, a_coef=a_coef, a_idx=a_idx,
+                  n_idx=n_idx, mark_start=MARK_START, mark_end=MARK_END)
+    lines.append("    ebreak")
+    return "\n".join(lines) + "\n"
+
+
+def emit_tile_compute(spec: StencilSpec, tile: Grid3d, variant: Variant,
+                      unroll: int = 4, cfg: CoreConfig | None = None, *,
+                      a_in: int, a_out: int, a_coef: int, a_idx: int,
+                      label_prefix: str = "") -> tuple[str, np.ndarray]:
+    """Compute-only assembly for one grid tile, plus its index pattern.
+
+    Emits exactly the compute section :func:`build_stencil` generates
+    (coefficient loads, SSR setup, the loop nest, the FP-drain barrier
+    and stream teardown) without the program frame (region marks and the
+    final ``ebreak``), so callers -- the multi-cluster halo-exchange
+    builder in :mod:`repro.kernels.partition` -- can splice several
+    compute phases into one program.  ``label_prefix`` namespaces the
+    loop labels to keep spliced phases collision-free.
+
+    Returns ``(asm, idx)`` where ``idx`` is the uint32 indirect-index
+    pattern that must be placed at ``a_idx`` before the phase runs.
+    """
+    cfg = cfg or CoreConfig()
+    if tile.radius < spec.radius:
+        raise ValueError(f"tile radius {tile.radius} < stencil radius "
+                         f"{spec.radius}")
+    if tile.nx % unroll:
+        raise ValueError(f"nx={tile.nx} not a multiple of "
+                         f"unroll={unroll}")
+    plan = plan_registers(variant, spec.ntaps, unroll, cfg.fpu_pipe_depth)
+    nbx = tile.nx // unroll
+    idx = _index_pattern(spec, tile, unroll, nbx)
+    lines: list[str] = []
+    _emit_compute(lines.append, spec, tile, variant, plan, nbx,
+                  a_in=a_in, a_out=a_out, a_coef=a_coef, a_idx=a_idx,
+                  n_idx=idx.size, mark_start=None, mark_end=None,
+                  label_prefix=label_prefix)
+    return "\n".join(lines), idx
+
+
+def _emit_compute(emit, spec: StencilSpec, grid: Grid3d,
+                  variant: Variant, plan: RegisterPlan, nbx: int, *,
+                  a_in: int, a_out: int, a_coef: int, a_idx: int,
+                  n_idx: int, mark_start: int | None,
+                  mark_end: int | None, label_prefix: str = "") -> None:
     r = grid.radius
     row_bytes = grid.row_bytes
     plane_bytes = grid.plane_bytes
@@ -160,9 +209,6 @@ def _emit(spec: StencilSpec, grid: Grid3d, variant: Variant,
     w0 = a_in  # window (pz-r, py-r, px-r) for the first row == grid base
 
     out0 = a_out + grid.interior_offset(0, 0, 0)
-    lines: list[str] = [f"    # {spec.name} / {variant.label} "
-                        f"(unroll {unroll}, {spec.ntaps} taps)"]
-    emit = lines.append
 
     # ---- prologue -----------------------------------------------------------
     emit(f"    li s8, {a_coef}")
@@ -195,41 +241,41 @@ def _emit(spec: StencilSpec, grid: Grid3d, variant: Variant,
     emit(f"    li s6, {grid.ny}")
     emit(f"    li s7, {grid.nz}")
     emit("    li s2, 0")
-    emit(f"    csrrwi x0, sim_mark, {MARK_START}")
+    if mark_start is not None:
+        emit(f"    csrrwi x0, sim_mark, {mark_start}")
 
     # ---- loops ---------------------------------------------------------------
-    emit("zloop:")
+    emit(f"{label_prefix}zloop:")
     emit("    li s3, 0")
-    emit("yloop:")
+    emit(f"{label_prefix}yloop:")
     emit(ssr_in.emit_arm(base_reg="s0"))
     emit("    li s4, 0")
-    emit("bloop:")
+    emit(f"{label_prefix}bloop:")
     _emit_block(emit, spec, variant, plan)
     if not variant.writeback_via_ssr:
         emit(f"    addi s1, s1, {unroll * DOUBLE}")
     emit("    addi s4, s4, 1")
-    emit("    bne s4, s5, bloop")
+    emit(f"    bne s4, s5, {label_prefix}bloop")
     # next row
     _emit_add(emit, "s0", row_bytes)
     if not variant.writeback_via_ssr:
         _emit_add(emit, "s1", row_bytes - grid.nx * DOUBLE)
     emit("    addi s3, s3, 1")
-    emit("    bne s3, s6, yloop")
+    emit(f"    bne s3, s6, {label_prefix}yloop")
     # next plane: skip the 2r halo rows
     _emit_add(emit, "s0", plane_bytes - grid.ny * row_bytes)
     if not variant.writeback_via_ssr:
         _emit_add(emit, "s1", plane_bytes - grid.ny * row_bytes)
     emit("    addi s2, s2, 1")
-    emit("    bne s2, s7, zloop")
+    emit(f"    bne s2, s7, {label_prefix}zloop")
 
     # ---- epilogue ------------------------------------------------------------
     emit("    csrr t2, ssr_enable      # FP-subsystem sync barrier")
-    emit(f"    csrrwi x0, sim_mark, {MARK_END}")
+    if mark_end is not None:
+        emit(f"    csrrwi x0, sim_mark, {mark_end}")
     if plan.chain_mask:
         emit("    csrrwi x0, chain_mask, 0")
     emit("    csrrci x0, ssr_enable, 1")
-    emit("    ebreak")
-    return "\n".join(lines) + "\n"
 
 
 def _emit_add(emit, reg: str, amount: int) -> None:

@@ -64,7 +64,8 @@ def speedup_vs_baseline(outcomes: Iterable, baseline: str,
 
     def match_key(outcome):
         p = outcome.point
-        return (p.kernel, p.grid, p.n, p.loop_mode, p.unroll, p.overrides)
+        return (p.kernel, p.grid, p.n, p.loop_mode, p.unroll,
+                p.overrides, p.system)
 
     base_values = {
         match_key(o): metric_of(o.result, metric)

@@ -56,6 +56,45 @@ def banking_spec() -> SweepSpec:
     )
 
 
+#: Cluster counts of the multi-cluster scaling campaign.
+SCALING_CLUSTERS = (1, 2, 4)
+
+#: Per-cluster slab of the weak-scaling series / global grid of the
+#: strong-scaling series (nz, ny, nx); nz divides by every cluster count.
+SCALING_GRID = (4, 4, 8)
+
+#: Halo-exchange sweeps per scaling point (>= 2 so the system barrier
+#: and the inter-sweep exchange are on the measured path).
+SCALING_ITERS = 2
+
+
+def scaling_points() -> list:
+    """Strong- and weak-scaling of the paper stencils over 1/2/4 clusters.
+
+    * **strong**: the global grid is fixed at :data:`SCALING_GRID`; more
+      clusters mean thinner z-slabs.
+    * **weak**: every cluster keeps a :data:`SCALING_GRID`-sized slab;
+      the global grid grows with the cluster count.
+
+    The ``num_clusters=1`` strong and weak points coincide and are
+    emitted once.  Every point carries the system axes in its cache key,
+    so scaling campaigns cache per cluster count.
+    """
+    nz, ny, nx = SCALING_GRID
+    points = []
+    for kernel in ("box3d1r", "j3d27pt"):
+        for num_clusters in SCALING_CLUSTERS:
+            grids = [(nz, ny, nx)]                      # strong
+            if num_clusters > 1:
+                grids.append((nz * num_clusters, ny, nx))   # weak
+            for grid in grids:
+                points.append(make_point(
+                    kernel, "Chaining+", grid=grid,
+                    system={"num_clusters": num_clusters,
+                            "iters": SCALING_ITERS}))
+    return points
+
+
 PRESETS = {
     "fig3": ("Fig. 3: 2 paper kernels x 5 variants, default grids",
              fig3_spec),
@@ -64,6 +103,8 @@ PRESETS = {
                        depth_ablation_points),
     "banking": ("TCDM bank-count sensitivity, 8/16/32 banks",
                 banking_spec),
+    "scaling": ("strong/weak multi-cluster scaling of the paper "
+                "stencils over 1/2/4 clusters", scaling_points),
 }
 
 

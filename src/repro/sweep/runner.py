@@ -91,6 +91,23 @@ def execute_point(point: Point, base_cfg: CoreConfig | None = None,
             kwargs["loop_mode"] = point.loop_mode
         return run_build(build_vecop(**kwargs), cfg=cfg,
                          max_cycles=max_cycles)
+    if point.is_system:
+        from repro.eval.system_runner import (
+            make_system_config,
+            run_system_stencil,
+        )
+
+        axes = dict(point.system)
+        num_clusters = axes.pop("num_clusters", 1)
+        iters = axes.pop("iters", 1)
+        sys_cfg = make_system_config(num_clusters, cfg, **axes)
+        kwargs = {"grid": point.grid3d()}
+        if point.unroll is not None:
+            kwargs["unroll"] = point.unroll
+        return run_system_stencil(
+            point.kernel, point.stencil_variant(),
+            num_clusters=num_clusters, sys_cfg=sys_cfg, iters=iters,
+            max_cycles=max_cycles, **kwargs)
     kwargs = {"grid": point.grid3d(), "cfg": cfg}
     if point.unroll is not None:
         kwargs["unroll"] = point.unroll

@@ -45,6 +45,15 @@ OVERRIDABLE_FIELDS = frozenset(
     f.name for f in dataclass_fields(CoreConfig) if f.name != "fpu_latency"
 ) | {FPU_DEPTH_KEY}
 
+#: Multi-cluster system axes a (stencil) point may set: the cluster
+#: count, the sweep count of the halo-exchange schedule, and the
+#: interconnect/global-memory knobs of
+#: :class:`~repro.core.config.SystemConfig`.  Part of every cache key.
+SYSTEM_FIELDS = frozenset({
+    "num_clusters", "iters", "gmem_banks", "gmem_bank_bytes_per_cycle",
+    "gmem_latency", "link_bytes_per_cycle", "gmem_size",
+})
+
 _STENCIL_LABELS = {v.label.lower(): v.label for v in Variant}
 _VECOP_LABELS = {v.value.lower(): v.value for v in VecopVariant}
 
@@ -117,6 +126,24 @@ def _normalize_overrides(overrides) -> tuple[tuple[str, object], ...]:
     return tuple(sorted(items))
 
 
+def _normalize_system(system) -> tuple[tuple[str, int], ...]:
+    """Validate and canonicalize a point's multi-cluster system axes."""
+    if not system:
+        return ()
+    items = dict(system).items()
+    out = []
+    for key, value in items:
+        if key not in SYSTEM_FIELDS:
+            raise ValueError(
+                f"unknown system axis {key!r}; choose from: "
+                f"{', '.join(sorted(SYSTEM_FIELDS))}")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"system axis {key}={value!r} must be an integer")
+        out.append((key, value))
+    return tuple(sorted(out))
+
+
 @dataclass(frozen=True)
 class Point:
     """One fully-determined experiment: hashable, orderable, cacheable.
@@ -133,10 +160,25 @@ class Point:
     loop_mode: str | None = None
     unroll: int | None = None
     overrides: tuple[tuple[str, object], ...] = ()
+    #: Multi-cluster axes (``num_clusters``, ``iters``, interconnect and
+    #: global-memory knobs); empty for plain single-cluster points.
+    #: Always part of :meth:`canonical` -- and therefore of the sweep
+    #: cache key -- so a cached single-cluster result can never be
+    #: served for a multi-cluster point.
+    system: tuple[tuple[str, int], ...] = ()
 
     @property
     def is_vecop(self) -> bool:
         return self.kernel == VECOP_KERNEL
+
+    @property
+    def is_system(self) -> bool:
+        """True when the point runs on a multi-cluster System."""
+        return bool(self.system)
+
+    @property
+    def num_clusters(self) -> int:
+        return dict(self.system).get("num_clusters", 1)
 
     def grid3d(self) -> Grid3d | None:
         if self.grid is None:
@@ -158,6 +200,7 @@ class Point:
             "loop_mode": self.loop_mode,
             "unroll": self.unroll,
             "overrides": [[k, v] for k, v in self.overrides],
+            "system": [[k, v] for k, v in self.system],
         }
 
     @classmethod
@@ -170,6 +213,7 @@ class Point:
             loop_mode=data.get("loop_mode"),
             unroll=data.get("unroll"),
             overrides=tuple((k, v) for k, v in data.get("overrides", ())),
+            system=tuple((k, v) for k, v in data.get("system", ())),
         )
 
     @property
@@ -185,11 +229,12 @@ class Point:
         if self.unroll is not None:
             parts.append(f"unroll={self.unroll}")
         parts.extend(f"{k}={v}" for k, v in self.overrides)
+        parts.extend(f"{k}={v}" for k, v in self.system)
         return " ".join(parts)
 
 
 def make_point(kernel: str, variant, grid=None, n=None, loop_mode=None,
-               unroll=None, overrides=None) -> Point:
+               unroll=None, overrides=None, system=None) -> Point:
     """Validating :class:`Point` constructor accepting loose input types."""
     kernel = str(kernel)
     if kernel != VECOP_KERNEL and kernel not in STENCILS:
@@ -211,6 +256,10 @@ def make_point(kernel: str, variant, grid=None, n=None, loop_mode=None,
     if not is_vecop and (n is not None or loop_mode is not None):
         raise ValueError(
             f"kernel {kernel!r} takes grid/unroll, not n/loop_mode")
+    if is_vecop and system:
+        raise ValueError(
+            f"kernel {kernel!r} cannot take system axes; domain "
+            f"decomposition applies to stencil kernels only")
     return Point(
         kernel=kernel,
         variant=label,
@@ -219,6 +268,7 @@ def make_point(kernel: str, variant, grid=None, n=None, loop_mode=None,
         loop_mode=str(loop_mode) if loop_mode is not None else None,
         unroll=int(unroll) if unroll is not None else None,
         overrides=_normalize_overrides(overrides),
+        system=_normalize_system(system),
     )
 
 
@@ -229,7 +279,10 @@ class SweepSpec:
     ``variants=None`` means *all* variants applicable to each kernel's
     kind.  Any ``None`` entry on the grid axis selects the kernel's
     registry default grid; ``None`` on ``unrolls`` selects the builder
-    default.
+    default.  The ``systems`` axis (multi-cluster ``num_clusters`` /
+    ``iters`` / interconnect dicts) applies to stencil kernels only; the
+    vecop pseudo-kernel ignores it (its points are always
+    single-cluster).
     """
 
     name: str = "sweep"
@@ -240,6 +293,7 @@ class SweepSpec:
     loop_modes: tuple = (None,)
     unrolls: tuple = (None,)
     overrides: tuple = (None,)
+    systems: tuple = (None,)
     meta: dict = field(default_factory=dict)
 
     def _variant_labels(self, for_vecop: bool) -> list[str]:
@@ -274,9 +328,11 @@ class SweepSpec:
                     else:
                         for grid in self.grids:
                             for unroll in self.unrolls:
-                                out.append(make_point(
-                                    kernel, variant, grid=grid,
-                                    unroll=unroll, overrides=over))
+                                for system in self.systems:
+                                    out.append(make_point(
+                                        kernel, variant, grid=grid,
+                                        unroll=unroll, overrides=over,
+                                        system=system))
         unique = []
         for point in out:
             if point not in seen:
@@ -295,6 +351,7 @@ class SweepSpec:
             "loop_modes": list(self.loop_modes),
             "unrolls": list(self.unrolls),
             "overrides": [dict(o) if o else None for o in self.overrides],
+            "systems": [dict(s) if s else None for s in self.systems],
         }
         if self.variants is not None:
             data["variants"] = [normalize_variant(v) for v in self.variants]
@@ -305,7 +362,7 @@ class SweepSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         known = {"name", "kernels", "variants", "grids", "ns",
-                 "loop_modes", "unrolls", "overrides", "meta"}
+                 "loop_modes", "unrolls", "overrides", "systems", "meta"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -332,6 +389,7 @@ class SweepSpec:
             loop_modes=axis("loop_modes"),
             unrolls=axis("unrolls"),
             overrides=axis("overrides"),
+            systems=axis("systems"),
             meta=dict(data.get("meta") or {}),
         )
         spec.points()  # validate eagerly so bad specs fail at load time

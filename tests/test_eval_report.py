@@ -51,3 +51,32 @@ def test_format_table_float_formatting():
     table = format_table(["x"], [[0.123456], [1234.5678]])
     assert "0.123" in table
     assert "1234.6" in table
+
+
+def test_scaling_rows_strong_and_weak():
+    from types import SimpleNamespace
+
+    from repro.eval.report import scaling_rows
+
+    # Strong scaling: fixed work, halving cycles per doubling is
+    # perfect (speedup n, efficiency 1); measured 4-cluster run is
+    # slower than perfect.
+    strong = {1: SimpleNamespace(cycles=8000),
+              2: SimpleNamespace(cycles=4000),
+              4: SimpleNamespace(cycles=2500)}
+    rows = scaling_rows(strong)
+    assert rows[0] == [1, 8000, 1.0, 1.0]
+    assert rows[1] == [2, 4000, 2.0, 1.0]
+    assert rows[2] == [4, 2500, 3.2, 0.8]
+
+    # Weak scaling: fixed work per cluster, equal cycles are perfect
+    # (efficiency 1, speedup n).
+    weak = {1: SimpleNamespace(cycles=8000),
+            2: SimpleNamespace(cycles=8000),
+            4: SimpleNamespace(cycles=10000)}
+    rows = scaling_rows(weak, weak=True)
+    assert rows[0] == [1, 8000, 1.0, 1.0]
+    assert rows[1] == [2, 8000, 2.0, 1.0]
+    assert rows[2] == [4, 10000, 3.2, 0.8]
+
+    assert scaling_rows({}) == []

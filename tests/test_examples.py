@@ -28,6 +28,7 @@ def load_example(name: str):
     "dma_double_buffering",
     "linalg_reductions",
     "multicore_stencil",
+    "multicluster_scaling",
 ])
 def test_example_runs(name, capsys):
     module = load_example(name)

@@ -121,6 +121,57 @@ def test_failures_are_not_cached(tmp_path):
     assert second.cached_count == 0  # retried, not replayed
 
 
+def test_point_key_includes_system_axes():
+    """Multi-cluster axes partition the cache: without ``system`` in the
+    canonical payload, a 1-cluster and a 4-cluster run of the same
+    kernel/grid would collide on one key and the cache would serve
+    single-cluster results for multi-cluster points."""
+    base = make_point("box3d1r", "Chaining+", grid=(4, 4, 8))
+    multi = make_point("box3d1r", "Chaining+", grid=(4, 4, 8),
+                       system={"num_clusters": 4, "iters": 2})
+    assert base != multi
+    assert point_key(base, __version__) != point_key(multi, __version__)
+    # Interconnect knobs are axes of their own.
+    tuned = make_point("box3d1r", "Chaining+", grid=(4, 4, 8),
+                       system={"num_clusters": 4, "iters": 2,
+                               "gmem_latency": 100})
+    assert point_key(tuned, __version__) != point_key(multi, __version__)
+    # Demonstrate the collision the fix prevents: strip the system axes
+    # from the canonical payloads (the pre-fix key ingredients) and the
+    # two distinct experiments become indistinguishable.
+    pre_fix = {k: v for k, v in base.canonical().items() if k != "system"}
+    pre_fix_multi = {k: v for k, v in multi.canonical().items()
+                     if k != "system"}
+    assert pre_fix == pre_fix_multi
+
+
+def test_system_axes_round_trip_and_cache_partition(tmp_path):
+    """End to end: a multi-cluster point simulates, caches under its own
+    key, replays from cache, and never hits the single-cluster entry."""
+    from repro.sweep.spec import Point
+
+    single = make_point("box3d1r", "Chaining+", grid=(2, 4, 8))
+    multi = make_point("box3d1r", "Chaining+", grid=(2, 4, 8),
+                       system={"num_clusters": 2})
+    assert Point.from_canonical(multi.canonical()) == multi
+    assert "num_clusters=2" in multi.label
+
+    runner = SweepRunner(cache=tmp_path / "c", workers=0)
+    cold = runner.run([single, multi])
+    assert all(o.ok for o in cold) and cold.cached_count == 0
+    results = {o.point: o.result for o in cold}
+    assert results[multi].meta["num_clusters"] == 2
+    assert "per_cluster_cycles" in results[multi].meta
+    assert "num_clusters" not in results[single].meta
+
+    warm = SweepRunner(cache=tmp_path / "c", workers=0) \
+        .run([single, multi])
+    assert warm.cached_count == 2
+    for o in warm:
+        # The --json record carries the system axes.
+        assert "system" in o.record()["point"]
+
+
 def test_point_key_engine_sensitivity():
     """The engine choice is part of the cache key (and defaults to the
     base config's own engine selection)."""
