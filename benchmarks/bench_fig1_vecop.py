@@ -10,8 +10,8 @@ import pytest
 
 from repro.eval.figures import fig1_data
 from repro.eval.report import format_table
+from repro.api import Session
 from repro.kernels.vecop import VecopVariant, build_vecop
-from repro.eval.runner import run_build
 
 N = 256
 
@@ -44,9 +44,10 @@ def test_fig1_table(benchmark):
 def test_fig1_variant_runtime(benchmark, variant):
     """Per-variant simulation benchmark (wall-clock of the simulator)."""
     build = build_vecop(n=N, variant=variant)
+    session = Session()
 
     def run():
-        return run_build(build)
+        return session.run(build)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.correct

@@ -11,7 +11,7 @@ Run with:  python examples/custom_stencil.py
 
 import numpy as np
 
-from repro import Grid3d, StencilSpec, Variant, build_stencil, run_build
+from repro import Grid3d, Session, StencilSpec, Variant, build_stencil
 
 
 def make_anisotropic_star() -> StencilSpec:
@@ -32,9 +32,10 @@ def main() -> None:
     spec = make_anisotropic_star()
     grid = Grid3d(nz=2, ny=6, nx=32, radius=2)
 
+    session = Session()
     for variant in (Variant.BASE, Variant.CHAINING_PLUS):
         build = build_stencil(spec, grid, variant)
-        result = run_build(build)
+        result = session.run(build)
         print(f"{spec.name} / {variant.label}:")
         print(f"  register plan : {build.meta['register_plan']}")
         print(f"  bit-exact     : {result.correct}")

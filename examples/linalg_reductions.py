@@ -14,8 +14,8 @@ three reduction-shaped kernels:
 Run with:  python examples/linalg_reductions.py
 """
 
+from repro import Session
 from repro.eval.report import format_table
-from repro.eval.runner import run_build
 from repro.kernels.linalg import (
     LinalgVariant,
     build_axpy,
@@ -36,9 +36,10 @@ def main() -> None:
                                      variant=LinalgVariant.CHAINING)),
         ("cdot dual-chain", build_cdot(n=128)),
     ]
+    session = Session()
     rows = []
     for name, build in builds:
-        result = run_build(build)
+        result = session.run(build)
         rows.append([
             name,
             result.fpu_utilization,

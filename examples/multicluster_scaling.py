@@ -11,16 +11,17 @@ sweeps -- all of which the system model accounts per cluster.
 Run with:  python examples/multicluster_scaling.py
 """
 
+from repro import Session, workload
 from repro.eval.report import (
     format_table,
     scaling_rows,
     system_summary_rows,
 )
-from repro.eval.system_runner import run_system_stencil
 from repro.kernels.layout import Grid3d
 from repro.kernels.variants import Variant
 
 KERNEL = "j3d27pt"
+VARIANT = "Chaining+"
 SLAB = (4, 6, 16)        # per-cluster interior planes (nz, ny, nx)
 ITERS = 2                # halo-exchange sweeps
 CLUSTERS = (1, 2, 4)
@@ -28,27 +29,26 @@ CLUSTERS = (1, 2, 4)
 
 def main() -> None:
     nz, ny, nx = SLAB
-    variant = Variant.from_label("Chaining+")
-    print(f"Weak scaling {KERNEL}/{variant.label}: "
+    print(f"Weak scaling {KERNEL}/{VARIANT}: "
           f"{nz}x{ny}x{nx} interior per cluster, {ITERS} sweeps\n")
+    session = Session()
     results = {}
     for num_clusters in CLUSTERS:
-        grid = Grid3d(nz * num_clusters, ny, nx)
-        result = run_system_stencil(KERNEL, variant, grid=grid,
-                                    num_clusters=num_clusters,
-                                    iters=ITERS)
+        result = session.run(workload(
+            KERNEL, VARIANT, grid=(nz * num_clusters, ny, nx),
+            num_clusters=num_clusters, iters=ITERS))
         assert result.correct, f"{num_clusters} clusters: wrong result"
         results[num_clusters] = result
     rows = []
     for row in scaling_rows(results, weak=True):
         num_clusters, cycles, speedup, efficiency = row
-        meta = results[num_clusters].meta
+        report = results[num_clusters].system
         rows.append([
             num_clusters,
             f"{nz * num_clusters}x{ny}x{nx}", cycles, efficiency,
             speedup,
-            meta["gmem_bytes_read"] + meta["gmem_bytes_written"],
-            meta["interconnect_contended_cycles"],
+            report.gmem_bytes_read + report.gmem_bytes_written,
+            report.interconnect_contended_cycles,
         ])
     last = results[CLUSTERS[-1]]
     print(format_table(

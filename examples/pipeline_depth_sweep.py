@@ -11,7 +11,7 @@ would burn at each depth.
 Run with:  python examples/pipeline_depth_sweep.py
 """
 
-from repro import CoreConfig, VecopVariant, build_vecop, run_build
+from repro import CoreConfig, Session, VecopVariant, build_vecop
 from repro.eval.report import format_table
 from repro.isa.instructions import InstrClass
 
@@ -30,11 +30,12 @@ def main() -> None:
     # Depth 7 is the frep-body limit (2*(depth+1) <= 16 instructions).
     for depth in (1, 2, 3, 4, 5, 6):
         cfg = config_with_depth(depth)
+        session = Session(cfg)
         n = 24 * (depth + 1)
-        base = run_build(build_vecop(n=n, variant=VecopVariant.BASELINE,
-                                     cfg=cfg), cfg=cfg)
-        chain = run_build(build_vecop(n=n, variant=VecopVariant.CHAINING,
-                                      cfg=cfg), cfg=cfg)
+        base = session.run(build_vecop(n=n, variant=VecopVariant.BASELINE,
+                                       cfg=cfg))
+        chain = session.run(build_vecop(n=n, variant=VecopVariant.CHAINING,
+                                        cfg=cfg))
         rows.append([
             depth,
             base.fpu_utilization,

@@ -9,21 +9,21 @@ architectural accumulator registers each variant needed.
 Run with:  python examples/quickstart.py
 """
 
-from repro import VecopVariant, build_vecop, run_build
+from repro import Session, VecopVariant, workload
 from repro.eval.report import format_table
 
 
 def main() -> None:
     n = 256
+    session = Session()
     rows = []
     for variant in VecopVariant:
-        build = build_vecop(n=n, variant=variant)
-        result = run_build(build)
+        result = session.run(workload("vecop", variant, n=n))
         rows.append([
             variant.value,
             result.fpu_utilization,
             result.region_cycles,
-            build.meta["arch_accumulators"],
+            result.meta["arch_accumulators"],
             "yes" if result.correct else "NO",
         ])
     print(format_table(

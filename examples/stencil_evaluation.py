@@ -11,17 +11,17 @@ Run with:  python examples/stencil_evaluation.py [kernel]
 
 import sys
 
-from repro import Variant
+from repro import Session, Variant, workload
 from repro.eval.report import format_table, percent_delta
-from repro.eval.runner import run_stencil_variant
 from repro.kernels.variants import VARIANT_ORDER
 
 
 def main() -> None:
     kernel = sys.argv[1] if len(sys.argv) > 1 else "box3d1r"
+    session = Session()
     results = {}
     for variant in VARIANT_ORDER:
-        results[variant] = run_stencil_variant(kernel, variant)
+        results[variant] = session.run(workload(kernel, variant))
 
     rows = []
     for variant in VARIANT_ORDER:

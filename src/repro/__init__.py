@@ -5,23 +5,32 @@ A cycle-level, hazard-faithful reproduction of
     "Late Breaking Results: A RISC-V ISA Extension for Chaining in Scalar
     Processors" (Colagrande, Jonnalagadda, Benini -- DATE 2025).
 
-Quick start::
+Quick start (the unified API: one Workload in, one Result out)::
 
-    from repro import Cluster, build_vecop, run_build, VecopVariant
+    from repro import Session, workload
 
-    build = build_vecop(n=256, variant=VecopVariant.CHAINING)
-    result = run_build(build)
-    print(result.fpu_utilization, result.power_mw)
+    session = Session(cache=".sweep-cache")
+    result = session.run(workload("j3d27pt", "Chaining+"))
+    print(result.fpu_utilization, result.power_mw, result.gflops_per_watt)
+
+    # many workloads, process-parallel, content-addressed caching:
+    campaign = session.map(
+        [workload("box3d1r", "Chaining+", num_clusters=n, iters=2,
+                  grid=(4, 4, 8)) for n in (1, 2, 4)],
+        parallel=True)
+    for outcome in campaign.ok:
+        print(outcome.point.label, outcome.result.to_dict()["gflops"])
 
 Package map:
 
+* :mod:`repro.api`     -- the unified Workload/Session/Result front door
 * :mod:`repro.isa`     -- RV32IM + F/D + Xssr/Xfrep/Xchain, assembler
 * :mod:`repro.core`    -- the Snitch-like core and the chaining extension
 * :mod:`repro.ssr`     -- stream semantic registers (affine + indirect)
 * :mod:`repro.mem`     -- banked TCDM model
 * :mod:`repro.kernels` -- Fig. 1 vecop and SARIS-style stencil generators
 * :mod:`repro.energy`  -- event-based energy/power and area models
-* :mod:`repro.eval`    -- run harness and figure regeneration
+* :mod:`repro.eval`    -- execution backends and figure regeneration
 * :mod:`repro.sweep`   -- experiment campaigns: declarative sweeps,
   parallel execution, content-addressed result caching, aggregation
 * :mod:`repro.system`  -- multi-cluster scale-out: shared global
@@ -30,6 +39,16 @@ Package map:
 * :mod:`repro.trace`   -- issue traces (Fig. 1c) and dataflow (Fig. 2)
 """
 
+from repro.api import (
+    Result,
+    Session,
+    SystemReport,
+    Workload,
+    make_workload,
+    workload,
+)
+from repro.api.workloads import deprecated_point_alias as \
+    _deprecated_point_alias
 from repro.core import ChainController, Cluster, CoreConfig, SystemConfig
 from repro.energy import AreaModel, EnergyModel, EnergyParams
 from repro.eval import RunResult, geomean, run_build, run_stencil_variant
@@ -51,7 +70,6 @@ from repro.kernels.partition import build_partitioned_stencil
 from repro.system import GLOBAL_BASE, System
 from repro.sweep import (
     Campaign,
-    Point,
     ResultCache,
     SweepRunner,
     SweepSpec,
@@ -59,7 +77,7 @@ from repro.sweep import (
 )
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AreaModel",
@@ -72,17 +90,20 @@ __all__ = [
     "GLOBAL_BASE",
     "Grid3d",
     "KernelBuild",
-    "Point",
+    "Result",
     "ResultCache",
     "RunResult",
+    "Session",
     "StencilSpec",
     "SweepRunner",
     "SweepSpec",
     "System",
     "SystemConfig",
+    "SystemReport",
     "TraceRecorder",
     "Variant",
     "VecopVariant",
+    "Workload",
     "__version__",
     "assemble",
     "box3d1r",
@@ -95,10 +116,21 @@ __all__ = [
     "geomean",
     "j3d27pt",
     "make_point",
+    "make_workload",
     "render_dataflow",
     "render_issue_trace",
     "run_build",
     "run_stencil_variant",
     "run_system_stencil",
     "star3d1r",
+    "workload",
 ]
+
+
+def __getattr__(name: str):
+    # "Point" is deliberately NOT in __all__: a star import must not
+    # fire the deprecation warning for users who never touch it.
+    if name == "Point":
+        return _deprecated_point_alias("repro.Point")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,103 @@
+"""Shared argument parsing for the unified API, the sweep layer and CLI.
+
+One place resolves every user-facing enumeration -- kernel names,
+variant labels (stencil and vecop kinds), execution engines -- with
+error messages that list the valid values.  The CLI, the
+:class:`~repro.api.workloads.Workload` validating constructor and the
+sweep spec all call these helpers, so a typo produces the same
+diagnostic no matter which front door it entered through.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ENGINES
+from repro.kernels.registry import STENCILS
+from repro.kernels.variants import Variant
+from repro.kernels.vecop import VecopVariant
+
+#: Pseudo-kernel name routing a workload through the Fig. 1 vecop
+#: builder (every other kernel name is a stencil in the registry).
+VECOP_KERNEL = "vecop"
+
+_STENCIL_LABELS = {v.label.lower(): v.label for v in Variant}
+_VECOP_LABELS = {v.value.lower(): v.value for v in VecopVariant}
+
+
+def parse_kernel(kernel) -> str:
+    """Validated kernel name, or ``ValueError`` listing the options.
+
+    (Stencil names come from :func:`repro.kernels.registry.kernel_names`;
+    the vecop pseudo-kernel rides alongside.)
+    """
+    kernel = str(kernel)
+    if kernel != VECOP_KERNEL and kernel not in STENCILS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from: "
+            f"{', '.join((VECOP_KERNEL, *STENCILS))}")
+    return kernel
+
+
+def resolve_variant(variant, for_vecop: bool) -> str | None:
+    """Canonical label of ``variant`` within one workload kind, or
+    ``None`` if the spelling does not name a variant of that kind.
+
+    Case-insensitive; enum instances resolve only in their own kind.
+    Some spellings name a variant in *both* kinds (``"chaining"`` is the
+    vecop variant and, case-insensitively, the stencil ``Chaining``), so
+    resolution is always relative to a kernel's kind.
+    """
+    if isinstance(variant, Variant):
+        return variant.label if not for_vecop else None
+    if isinstance(variant, VecopVariant):
+        return variant.value if for_vecop else None
+    pool = _VECOP_LABELS if for_vecop else _STENCIL_LABELS
+    return pool.get(str(variant).lower())
+
+
+def normalize_variant(variant) -> str:
+    """Canonical label for any accepted variant spelling, any kind.
+
+    Ambiguous spellings resolve to the vecop label; use
+    :func:`parse_variant` with a kernel (or :func:`resolve_variant`)
+    when the workload kind is known.
+    """
+    label = resolve_variant(variant, for_vecop=True)
+    if label is None:
+        label = resolve_variant(variant, for_vecop=False)
+    if label is None:
+        options = list(_VECOP_LABELS.values()) + \
+            list(_STENCIL_LABELS.values())
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from: "
+            f"{', '.join(options)}")
+    return label
+
+
+def parse_variant(variant, kernel: str | None = None) -> str:
+    """Canonical variant label, kind-aware when ``kernel`` is given."""
+    if kernel is None:
+        return normalize_variant(variant)
+    kernel = parse_kernel(kernel)
+    label = resolve_variant(variant, for_vecop=kernel == VECOP_KERNEL)
+    if label is None:
+        pool = _VECOP_LABELS if kernel == VECOP_KERNEL else _STENCIL_LABELS
+        raise ValueError(
+            f"unknown variant {variant!r} for kernel {kernel!r}; "
+            f"choose from: {', '.join(pool.values())}")
+    return label
+
+
+def parse_stencil_variant(label) -> Variant:
+    """The stencil :class:`Variant` enum member for ``label``."""
+    if isinstance(label, Variant):
+        return label
+    return Variant.from_label(str(label))
+
+
+def parse_engine(engine) -> str:
+    """Validated execution-engine name (see ``CoreConfig.engine``)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be {', '.join(repr(e) for e in ENGINES[:-1])} "
+            f"or {ENGINES[-1]!r}, got {engine!r}")
+    return engine

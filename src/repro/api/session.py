@@ -1,0 +1,157 @@
+"""The session: one front door for running workloads at any scale.
+
+A :class:`Session` holds the execution context -- base
+:class:`~repro.core.config.CoreConfig`, result cache, process-pool
+width, per-point timeout, engine selection -- and exposes:
+
+* :meth:`Session.run` -- execute one :class:`~repro.api.workloads.
+  Workload` (or a prebuilt :class:`~repro.kernels.build.KernelBuild`)
+  and return the unified :class:`~repro.api.result.Result`;
+* :meth:`Session.map` -- execute many workloads through the sweep
+  engine's process pool and content-addressed cache, returning the
+  :class:`~repro.sweep.runner.Campaign` of outcomes;
+* :meth:`Session.resolve` -- the materialized ``CoreConfig`` /
+  ``SystemConfig`` a workload would run under (the single-cluster or
+  :mod:`repro.system` backend is picked automatically);
+* :meth:`Session.key` -- the workload's content-address in the result
+  cache (identical to the pre-1.5 sweep ``point_key``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from repro.api.execute import (
+    DEFAULT_MAX_CYCLES,
+    apply_engine,
+    execute_workload,
+    resolve_config,
+)
+from repro.api.parse import parse_engine
+from repro.api.result import Result
+from repro.api.workloads import Workload
+from repro.core.config import CoreConfig, SystemConfig
+from repro.kernels.build import KernelBuild
+from repro.sweep.cache import ResultCache, package_version, point_key
+from repro.sweep.runner import Campaign, SweepRunner
+
+
+class Session:
+    """Execution context resolving workloads onto the right backend.
+
+    ``workers`` sets the default pool width for :meth:`map`:
+    ``1`` (the default) runs serially in-process -- results are the
+    very objects the backends produced, which bit-identical
+    reproduction relies on -- ``None`` sizes the pool to the host's
+    cores, and any other integer is an explicit pool width.
+
+    ``max_cycles=None`` (the default) uses each backend's own budget
+    -- 20M simulated cycles for multi-cluster workloads, 5M otherwise
+    -- identically in :meth:`run` and :meth:`map`, so what enters a
+    shared cache never depends on which front door simulated it.
+
+    ``timeout`` is the per-workload wall-clock budget of :meth:`map`
+    campaigns (enforced in the sweep workers); :meth:`run` executes
+    in-process and is bounded by ``max_cycles`` only.
+    """
+
+    def __init__(self, cfg: CoreConfig | None = None, *,
+                 cache: ResultCache | str | None = None,
+                 workers: int | None = 1,
+                 timeout: float | None = None,
+                 engine: str | None = None,
+                 max_cycles: int | None = None):
+        self.cfg = cfg
+        self.cache = ResultCache.coerce(cache)
+        self.workers = workers
+        self.timeout = timeout
+        self.engine = parse_engine(engine) if engine is not None else None
+        self.max_cycles = max_cycles
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, workload: Workload) -> CoreConfig | SystemConfig:
+        """Materialized config ``workload`` runs under in this session."""
+        return resolve_config(workload, base_cfg=self.cfg,
+                              engine=self.engine)
+
+    def key(self, workload: Workload) -> str:
+        """Content-address of ``workload`` in this session's cache."""
+        return point_key(workload, package_version(), self.cfg,
+                         engine=self.engine)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, work: Workload | KernelBuild, *,
+            require_correct: bool = True) -> Result:
+        """Execute one workload (or prebuilt kernel) and return its
+        :class:`Result`.
+
+        Workloads go through the session cache when one is configured;
+        ad-hoc :class:`KernelBuild` objects have no canonical form and
+        always simulate.  Failures raise (``ValueError`` for bad
+        configs, ``AssertionError`` for golden-model mismatches when
+        ``require_correct``).
+        """
+        if isinstance(work, KernelBuild):
+            from repro.eval.runner import execute_build
+            return execute_build(work, cfg=self._build_cfg(),
+                                 max_cycles=self.max_cycles
+                                 or DEFAULT_MAX_CYCLES,
+                                 require_correct=require_correct)
+        if not isinstance(work, Workload):
+            raise TypeError(
+                f"Session.run() takes a Workload or a KernelBuild, "
+                f"got {type(work).__name__}")
+        key = self.key(work) if self.cache is not None else None
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        start = time.perf_counter()
+        result = execute_workload(work, base_cfg=self.cfg,
+                                  max_cycles=self.max_cycles,
+                                  engine=self.engine,
+                                  require_correct=require_correct)
+        if key is not None and result.correct:
+            # Never cache an incorrect result (possible only with
+            # require_correct=False): the key is shared with campaigns
+            # that would replay it as an 'ok' outcome.
+            self.cache.put(key, work, result,
+                           time.perf_counter() - start, package_version())
+        return result
+
+    def map(self, workloads: Iterable[Workload],
+            parallel: bool | int | None = None,
+            progress: Callable | None = None) -> Campaign:
+        """Execute many workloads; returns the campaign of outcomes.
+
+        ``parallel``: ``None`` uses the session's ``workers`` default,
+        ``False`` forces serial in-process execution, ``True`` fans out
+        over all cores, and an integer is an explicit pool width.
+        Failures are isolated per workload (see
+        :class:`~repro.sweep.runner.Outcome`); cache hits replay
+        without simulating.
+        """
+        runner = SweepRunner(
+            cache=self.cache, workers=self._pool_width(parallel),
+            timeout=self.timeout, base_cfg=self.cfg,
+            max_cycles=self.max_cycles, engine=self.engine)
+        return runner.run(list(workloads), progress=progress)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _pool_width(self, parallel: bool | int | None) -> int | None:
+        if parallel is None:
+            return self.workers
+        if parallel is True:
+            return None              # all cores
+        if parallel is False:
+            return 1                 # serial, in-process
+        return int(parallel)
+
+    def _build_cfg(self) -> CoreConfig | None:
+        """Session config for ad-hoc builds, with the engine applied
+        (``fresh``: the session's base config must not be mutated)."""
+        return apply_engine(self.cfg, self.engine, fresh=True)

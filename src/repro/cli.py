@@ -15,8 +15,11 @@ Commands map one-to-one onto the paper's artifacts:
   from data;
 * ``list``   -- available kernels, variants and sweep presets.
 
-``--json PATH`` on the data-producing commands writes machine-readable
-results for downstream processing.
+Every command is a thin shell over :mod:`repro.api`: arguments build a
+:class:`~repro.api.Workload`, a :class:`~repro.api.Session` executes
+it, and all machine-readable output (``--json PATH``, ``--csv PATH``)
+emits the one canonical result schema
+(:meth:`repro.api.Result.to_dict`).
 """
 
 from __future__ import annotations
@@ -26,7 +29,15 @@ import csv
 import json
 import sys
 
+from repro.api import (
+    RESULT_METRICS,
+    RESULT_SCALARS,
+    Session,
+    make_workload,
+    normalize_variant,
+)
 from repro.core.cluster import Cluster
+from repro.core.config import ENGINES
 from repro.energy.area import AreaModel
 from repro.eval.figures import (
     PAPER_CLAIMS,
@@ -37,39 +48,22 @@ from repro.eval.figures import (
     fig3_data,
 )
 from repro.eval.report import format_table
-from repro.eval.runner import RunResult, run_stencil_variant
 from repro.kernels.build import MARK_START
-from repro.kernels.layout import Grid3d
 from repro.kernels.registry import kernel_names
-from repro.kernels.variants import VARIANT_ORDER, Variant
+from repro.kernels.variants import VARIANT_ORDER
 from repro.kernels.vecop import VecopVariant, build_vecop
 from repro.sweep import (
     PRESETS,
-    RESULT_METRICS,
-    SweepRunner,
     SweepSpec,
-    make_point,
-    normalize_variant,
     preset_points,
     speedup_vs_baseline,
     summary_rows,
 )
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-
-def _result_record(result: RunResult) -> dict:
-    return {
-        "name": result.name,
-        "correct": result.correct,
-        "cycles": result.cycles,
-        "region_cycles": result.region_cycles,
-        "fpu_utilization": round(result.fpu_utilization, 4),
-        "power_mw": round(result.power_mw, 2),
-        "gflops": round(result.gflops, 3),
-        "gflops_per_watt": round(result.gflops_per_watt, 3),
-        "cycles_per_point": round(result.cycles_per_point, 3),
-        "stalls": result.stalls,
-    }
+#: stdout rounding of ``repro run`` (the pre-1.5 display precision).
+_RUN_DISPLAY_DIGITS = {"fpu_utilization": 4, "power_mw": 2, "gflops": 3,
+                       "gflops_per_watt": 3, "cycles_per_point": 3}
 
 
 def _maybe_write_json(path: str | None, payload) -> None:
@@ -78,11 +72,13 @@ def _maybe_write_json(path: str | None, payload) -> None:
             json.dump(payload, handle, indent=2)
 
 
-def _variant_by_label(label: str) -> Variant:
-    try:
-        return Variant.from_label(label)
-    except ValueError as exc:
-        raise SystemExit(str(exc)) from None
+def _parse_grid(args) -> tuple[int, int, int] | None:
+    dims = (args.nz, args.ny, args.nx)
+    if all(d is None for d in dims):
+        return None
+    if any(d is None for d in dims):
+        raise SystemExit("--nz/--ny/--nx must be given together")
+    return dims
 
 
 def cmd_fig1(args) -> int:
@@ -93,7 +89,7 @@ def cmd_fig1(args) -> int:
     print(format_table(
         ["variant", "fpu util", "cycles", "arch accumulators"], rows,
         title=f"Fig. 1: a = b*(c+d), n={args.n}"))
-    _maybe_write_json(args.json, {name: _result_record(res)
+    _maybe_write_json(args.json, {name: res.to_dict()
                                   for name, res in results.items()})
     return 0
 
@@ -120,7 +116,7 @@ def cmd_fig3(args) -> int:
          "mW(paper)", "mW(ours)"],
         rows, title="Fig. 3: utilization and power"))
     _maybe_write_json(args.json, {
-        f"{kernel}/{label}": _result_record(res)
+        f"{kernel}/{label}": res.to_dict()
         for (kernel, label), res in results.items()
     })
     return 0
@@ -138,49 +134,42 @@ def cmd_claims(args) -> int:
 
 
 def cmd_run(args) -> int:
-    variant = _variant_by_label(args.variant)
-    grid = None
-    if args.nz or args.ny or args.nx:
-        if not (args.nz and args.ny and args.nx):
-            raise SystemExit("--nz/--ny/--nx must be given together")
-        grid = Grid3d(nz=args.nz, ny=args.ny, nx=args.nx)
+    grid = _parse_grid(args)
     if args.num_clusters < 1:
         raise SystemExit(f"--num-clusters must be >= 1, got "
                          f"{args.num_clusters}")
     if args.iters < 1:
         raise SystemExit(f"--iters must be >= 1, got {args.iters}")
-    system = (args.num_clusters > 1 or args.iters > 1
-              or args.gmem_latency is not None
-              or args.gmem_banks is not None
-              or args.link_bytes is not None)
-    if system:
-        from repro.eval.system_runner import (
-            make_system_config,
-            run_system_stencil,
-        )
-
-        try:
-            sys_cfg = make_system_config(
-                args.num_clusters, gmem_latency=args.gmem_latency,
-                gmem_banks=args.gmem_banks,
-                link_bytes_per_cycle=args.link_bytes)
-            result = run_system_stencil(
-                args.kernel, variant, grid=grid,
-                num_clusters=args.num_clusters, sys_cfg=sys_cfg,
-                iters=args.iters)
-        except (ValueError, AssertionError) as exc:
-            raise SystemExit(str(exc)) from None
-    else:
-        result = run_stencil_variant(args.kernel, variant, grid=grid)
-    record = _result_record(result)
-    if system:
-        for key in ("num_clusters", "iters", "per_cluster_cycles",
-                    "sys_barriers", "gmem_bytes_read",
-                    "gmem_bytes_written",
-                    "interconnect_contended_cycles"):
-            record[key] = result.meta[key]
-    for key, value in record.items():
-        print(f"{key:30s} {value}" if system else f"{key:18s} {value}")
+    system = {}
+    if (args.num_clusters > 1 or args.iters > 1
+            or args.gmem_latency is not None
+            or args.gmem_banks is not None
+            or args.link_bytes is not None):
+        system = {"num_clusters": args.num_clusters, "iters": args.iters}
+        if args.gmem_latency is not None:
+            system["gmem_latency"] = args.gmem_latency
+        if args.gmem_banks is not None:
+            system["gmem_banks"] = args.gmem_banks
+        if args.link_bytes is not None:
+            system["link_bytes_per_cycle"] = args.link_bytes
+    session = Session()  # backend-default cycle budgets
+    try:
+        work = make_workload(args.kernel, args.variant, grid=grid,
+                             system=system or None)
+        result = session.run(work)
+    except (ValueError, AssertionError) as exc:
+        raise SystemExit(str(exc)) from None
+    record = result.to_dict()
+    # Display rounding only; --json keeps the full-fidelity schema.
+    shown = dict(record, **{k: round(record[k], d) for k, d in
+                            _RUN_DISPLAY_DIGITS.items()})
+    width = 30 if system else 18
+    for key in RESULT_SCALARS:
+        print(f"{key:{width}s} {shown[key]}")
+    print(f"{'stalls':{width}s} {record['stalls']}")
+    if record["system"]:
+        for key, value in record["system"].items():
+            print(f"{key:{width}s} {value}")
     _maybe_write_json(args.json, record)
     return 0 if result.correct else 1
 
@@ -245,7 +234,7 @@ def cmd_sweep(args) -> int:
         raise SystemExit("spec expands to zero points")
     points = _apply_system_axes(args, points)
 
-    runner = SweepRunner(
+    session = Session(
         cache=None if args.no_cache else args.cache_dir,
         workers=args.workers, timeout=args.timeout,
         engine=args.engine)
@@ -259,7 +248,7 @@ def cmd_sweep(args) -> int:
 
     print(f"{title}: {len(points)} points, "
           + ("cache off" if args.no_cache else f"cache {args.cache_dir}"))
-    campaign = runner.run(points, progress=progress)
+    campaign = session.map(points, progress=progress)
 
     print()
     print(format_table(
@@ -324,7 +313,7 @@ def _apply_system_axes(args, points):
         merged = dict(point.system)
         merged.update(axes)
         try:
-            merged_points.append(make_point(
+            merged_points.append(make_workload(
                 point.kernel, point.variant, grid=point.grid,
                 unroll=point.unroll,
                 overrides=dict(point.overrides) or None,
@@ -334,17 +323,21 @@ def _apply_system_axes(args, points):
     return merged_points
 
 
+#: Workload-identity columns of the sweep CSV; the metric columns are
+#: the one result schema's scalars, minus only the build ``name``
+#: (redundant with the identity columns).
+CSV_IDENTITY = ("kernel", "variant", "grid", "n", "loop_mode", "unroll",
+                "overrides", "system", "status", "cached", "seconds")
+CSV_METRICS = tuple(k for k in RESULT_SCALARS if k != "name")
+
+
 def _write_sweep_csv(path: str, campaign) -> None:
-    fields = ["kernel", "variant", "grid", "n", "loop_mode", "unroll",
-              "overrides", "system", "status", "cached", "seconds",
-              "cycles", "region_cycles", "fpu_utilization", "power_mw",
-              "gflops", "gflops_per_watt"]
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(fields)
+        writer.writerow([*CSV_IDENTITY, *CSV_METRICS])
         for outcome in campaign:
             point = outcome.point
-            res = outcome.result
+            record = outcome.result.to_dict() if outcome.result else None
             writer.writerow([
                 point.kernel, point.variant,
                 "x".join(map(str, point.grid)) if point.grid else "",
@@ -355,12 +348,8 @@ def _write_sweep_csv(path: str, campaign) -> None:
                 ";".join(f"{k}={v}" for k, v in point.system),
                 outcome.status, int(outcome.cached),
                 round(outcome.seconds, 4),
-                res.cycles if res else "",
-                res.region_cycles if res else "",
-                round(res.fpu_utilization, 6) if res else "",
-                round(res.power_mw, 3) if res else "",
-                round(res.gflops, 4) if res else "",
-                round(res.gflops_per_watt, 4) if res else "",
+                *([record[k] for k in CSV_METRICS] if record
+                  else [""] * len(CSV_METRICS)),
             ])
 
 
@@ -370,25 +359,20 @@ def cmd_profile(args) -> int:
     import io
     import pstats
 
-    from repro.core.config import CoreConfig
-
-    cfg = CoreConfig()
-    if args.engine:
-        cfg.engine = args.engine
-        cfg.validate()
-    grid = None
-    if args.nz or args.ny or args.nx:
-        if not (args.nz and args.ny and args.nx):
-            raise SystemExit("--nz/--ny/--nx must be given together")
-        grid = Grid3d(nz=args.nz, ny=args.ny, nx=args.nx)
-    variant = _variant_by_label(args.variant)
+    grid = _parse_grid(args)
+    session = Session(engine=args.engine)
+    try:
+        work = make_workload(args.kernel, args.variant, grid=grid)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    engine = session.resolve(work).engine
 
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_stencil_variant(args.kernel, variant, grid=grid, cfg=cfg)
+    result = session.run(work)
     profiler.disable()
 
-    print(f"{args.kernel}/{variant.label} engine={cfg.engine}: "
+    print(f"{args.kernel}/{work.variant} engine={engine}: "
           f"{result.cycles} cycles, correct={result.correct}")
     for sort in ("cumulative", "tottime"):
         buf = io.StringIO()
@@ -477,9 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process count (default: all cores; 0/1: serial)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-point wall-clock budget in seconds")
-    p.add_argument("--engine",
-                   choices=("auto", "fast", "scalar", "scalar-v2"),
-                   default=None,
+    p.add_argument("--engine", choices=ENGINES, default=None,
                    help="execution engine for every point (bit-identical "
                         "results; 'fast' vectorizes eligible FREP/SSR "
                         "regions, 'scalar-v2' is the pre-decoded "
@@ -510,9 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cProfile one kernel/variant, print hotspots")
     p.add_argument("--kernel", default="j3d27pt")
     p.add_argument("--variant", default="Chaining+")
-    p.add_argument("--engine",
-                   choices=("auto", "fast", "scalar", "scalar-v2"),
-                   default=None,
+    p.add_argument("--engine", choices=ENGINES, default=None,
                    help="execution engine to profile (default: auto)")
     p.add_argument("--top", type=int, default=15,
                    help="rows per hotspot table")

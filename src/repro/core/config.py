@@ -11,6 +11,11 @@ from dataclasses import dataclass, field
 
 from repro.isa.instructions import InstrClass
 
+#: Valid execution-engine selections (see :attr:`CoreConfig.engine`).
+#: The single source of truth -- the CLI, the sweep layer and
+#: :mod:`repro.api.parse` all validate against this tuple.
+ENGINES = ("auto", "fast", "scalar", "scalar-v2")
+
 
 def _default_fpu_latency() -> dict[InstrClass, int]:
     return {
@@ -125,7 +130,7 @@ class CoreConfig:
         for iclass, lat in self.fpu_latency.items():
             if lat < 1:
                 raise ValueError(f"latency of {iclass} must be >= 1")
-        if self.engine not in ("auto", "fast", "scalar", "scalar-v2"):
+        if self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be 'auto', 'fast', 'scalar' or 'scalar-v2', "
                 f"got {self.engine!r}")

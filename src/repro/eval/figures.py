@@ -19,15 +19,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.parse import VECOP_KERNEL
+from repro.api.result import Result
+from repro.api.session import Session
+from repro.api.workloads import make_workload
 from repro.core.config import CoreConfig
 from repro.eval.report import geomean
-from repro.eval.runner import RunResult
 from repro.kernels.layout import Grid3d
 from repro.kernels.registry import PAPER_KERNELS
 from repro.kernels.variants import VARIANT_ORDER, Variant
 from repro.kernels.vecop import VecopVariant
-from repro.sweep.runner import SweepRunner
-from repro.sweep.spec import VECOP_KERNEL, make_point
 
 #: Fig. 3 left panel (FPU utilization) as read from the paper.
 PAPER_FIG3_UTILIZATION = {
@@ -67,11 +68,12 @@ PAPER_CLAIMS = {
 
 def fig1_data(n: int = 256, loop_mode: str = "frep",
               cfg: CoreConfig | None = None,
-              workers: int | None = 0) -> dict[str, RunResult]:
-    """Fig. 1: the three vecop variants (via the sweep engine)."""
-    points = [make_point(VECOP_KERNEL, variant, n=n, loop_mode=loop_mode)
-              for variant in VecopVariant]
-    campaign = SweepRunner(workers=workers, base_cfg=cfg).run(points)
+              workers: int | None = 0) -> dict[str, Result]:
+    """Fig. 1: the three vecop variants (via the unified session)."""
+    workloads = [make_workload(VECOP_KERNEL, variant, n=n,
+                               loop_mode=loop_mode)
+                 for variant in VecopVariant]
+    campaign = Session(cfg, workers=workers).map(workloads)
     campaign.raise_on_failure()
     return {o.point.variant: o.result for o in campaign.outcomes}
 
@@ -81,16 +83,17 @@ def fig3_data(kernels: tuple[str, ...] = PAPER_KERNELS,
               cfg: CoreConfig | None = None,
               grids: dict[str, Grid3d] | None = None,
               workers: int | None = 0,
-              ) -> dict[tuple[str, str], RunResult]:
-    """Fig. 3: all (kernel, variant) points, via the sweep engine.
+              ) -> dict[tuple[str, str], Result]:
+    """Fig. 3: all (kernel, variant) points, via the unified session.
 
     The default ``workers=0`` runs serially in-process, which keeps the
-    results bit-identical to calling the eval runner in a loop; pass
-    ``workers=None`` (all cores) or an explicit count to fan out.
+    results bit-identical to calling the execution backends in a loop;
+    pass ``workers=None`` (all cores) or an explicit count to fan out.
     """
-    points = [make_point(kernel, variant, grid=(grids or {}).get(kernel))
-              for kernel in kernels for variant in variants]
-    campaign = SweepRunner(workers=workers, base_cfg=cfg).run(points)
+    workloads = [make_workload(kernel, variant,
+                               grid=(grids or {}).get(kernel))
+                 for kernel in kernels for variant in variants]
+    campaign = Session(cfg, workers=workers).map(workloads)
     campaign.raise_on_failure()
     return {(o.point.kernel, o.point.variant): o.result
             for o in campaign.outcomes}
@@ -123,7 +126,7 @@ class ClaimsSummary:
         }
 
 
-def claims_from_results(results: dict[tuple[str, str], RunResult],
+def claims_from_results(results: dict[tuple[str, str], Result],
                         kernels: tuple[str, ...] = PAPER_KERNELS,
                         ) -> ClaimsSummary:
     """Derive the section III claims from a :func:`fig3_data` result set."""
@@ -132,10 +135,10 @@ def claims_from_results(results: dict[tuple[str, str], RunResult],
         return metric(results[kernel, num_variant.label]) \
             / metric(results[kernel, den_variant.label])
 
-    def cycles(res: RunResult) -> float:
+    def cycles(res: Result) -> float:
         return res.region_cycles
 
-    def eff(res: RunResult) -> float:
+    def eff(res: Result) -> float:
         return res.gflops_per_watt
 
     def gm_pct(metric, num, den, invert=False) -> float:

@@ -1,66 +1,58 @@
-"""Run generated kernels on the cluster and collect the paper's metrics.
+"""Single-cluster execution backend behind the unified API.
 
-:func:`run_build` executes one :class:`~repro.kernels.build.KernelBuild`,
-verifies the output bit-exactly against the golden model, and returns a
-:class:`RunResult` with cycle counts, FPU utilization over the measured
-region, the energy/power estimates and throughput-derived metrics.
+:func:`execute_build` runs one :class:`~repro.kernels.build.KernelBuild`
+on a cluster, verifies the output bit-exactly against the golden model,
+and returns the unified :class:`~repro.api.result.Result` (cycle
+counts, FPU utilization over the measured region, energy/power, and the
+typed ``clock_hz``/``flops``/``points`` throughput inputs).
+:func:`execute_stencil` is the one-call stencil data point.
+
+The pre-1.5 entry points :func:`run_build` and
+:func:`run_stencil_variant` remain as deprecation shims (one release);
+new code goes through :class:`repro.api.Session` or calls the backends
+directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+import warnings
 
+from repro.api.result import Result
 from repro.core.cluster import Cluster
 from repro.core.config import CoreConfig
-from repro.energy.model import EnergyModel, EnergyReport
+from repro.energy.model import EnergyModel
 from repro.kernels.build import MARK_END, MARK_START, KernelBuild
 from repro.kernels.layout import Grid3d
 from repro.kernels.registry import get_stencil
 from repro.kernels.stencil_codegen import build_stencil
 from repro.kernels.variants import Variant
 
-
-@dataclass
-class RunResult:
-    """Metrics from one kernel execution."""
-
-    name: str
-    correct: bool
-    cycles: int                 # whole run
-    region_cycles: int          # between the sim_mark region markers
-    fpu_utilization: float      # over the measured region
-    energy: EnergyReport
-    meta: dict = field(default_factory=dict)
-    stalls: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def power_mw(self) -> float:
-        return self.energy.power_mw
-
-    @property
-    def gflops(self) -> float:
-        """Achieved throughput over the measured region, in Gflop/s."""
-        if self.region_cycles == 0:
-            return 0.0
-        seconds = self.region_cycles / self.meta.get("clock_hz", 1.0e9)
-        return self.meta.get("flops", 0) / seconds / 1e9
-
-    @property
-    def gflops_per_watt(self) -> float:
-        """Energy efficiency: achieved Gflop/s per Watt."""
-        if self.energy.power_mw == 0:
-            return 0.0
-        return self.gflops / (self.energy.power_mw / 1e3)
-
-    @property
-    def cycles_per_point(self) -> float:
-        points = self.meta.get("points", 0)
-        return self.region_cycles / points if points else 0.0
+#: Pre-1.5 name of the unified result type (same class, kept one
+#: release for imports; the ``meta``-carried metric fields it used to
+#: have are now the typed ``clock_hz``/``flops``/``points``).
+RunResult = Result
 
 
-def run_build(build: KernelBuild, cfg: CoreConfig | None = None,
-              max_cycles: int = 5_000_000,
-              require_correct: bool = True) -> RunResult:
+def _pop_throughput_inputs(name: str, meta: dict) -> tuple[int, int]:
+    """Lift the typed throughput inputs out of a build's metadata.
+
+    Every builder must *declare* them (an explicit 0 when the kernel
+    reports none) -- the unified ``Result`` never silently defaults a
+    missing value to a wrong Gflop/s.
+    """
+    missing = [key for key in ("flops", "points") if key not in meta]
+    if missing:
+        raise ValueError(
+            f"{name}: build.meta must declare {', '.join(missing)!s} "
+            f"(pass an explicit 0 when the kernel reports none); the "
+            f"typed Result fields are never silently defaulted")
+    return int(meta.pop("flops")), int(meta.pop("points"))
+
+
+def execute_build(build: KernelBuild, cfg: CoreConfig | None = None,
+                  max_cycles: int = 5_000_000,
+                  require_correct: bool = True) -> Result:
     """Execute ``build`` and return its metrics."""
     cfg = cfg or CoreConfig()
     cluster = Cluster(build.asm, cfg=cfg, symbols=build.symbols)
@@ -85,26 +77,79 @@ def run_build(build: KernelBuild, cfg: CoreConfig | None = None,
     energy = model.report(cluster)
 
     meta = dict(build.meta)
-    meta["clock_hz"] = cfg.clock_hz
-    return RunResult(
+    flops, points = _pop_throughput_inputs(build.name, meta)
+    return Result(
         name=build.name,
         correct=correct,
         cycles=perf.cycles,
         region_cycles=region,
         fpu_utilization=util,
         energy=energy,
+        clock_hz=cfg.clock_hz,
+        flops=flops,
+        points=points,
         meta=meta,
         stalls=perf.stall_breakdown(),
     )
+
+
+def execute_stencil(kernel: str, variant: Variant,
+                    grid: Grid3d | None = None,
+                    cfg: CoreConfig | None = None,
+                    unroll: int = 4,
+                    max_cycles: int = 5_000_000,
+                    require_correct: bool = True) -> Result:
+    """Build and run one paper stencil data point."""
+    spec, default_grid = get_stencil(kernel)
+    build = build_stencil(spec, grid or default_grid, variant,
+                          unroll=unroll, cfg=cfg)
+    return execute_build(build, cfg=cfg, max_cycles=max_cycles,
+                         require_correct=require_correct)
+
+
+# -- deprecated pre-1.5 entry points ---------------------------------------
+
+
+def run_build(build: KernelBuild, cfg: CoreConfig | None = None,
+              max_cycles: int = 5_000_000,
+              require_correct: bool = True) -> Result:
+    """Deprecated alias of :func:`execute_build`.
+
+    .. deprecated:: 1.5
+       Use ``repro.api.Session.run(build)`` (or :func:`execute_build`).
+    """
+    warnings.warn(
+        "run_build() is deprecated; use repro.api.Session.run(build) "
+        "(or repro.eval.runner.execute_build). Note: clock_hz/flops/"
+        "points moved from result.meta to typed Result fields",
+        DeprecationWarning, stacklevel=2)
+    # Pre-1.5 leniency, shim only: builds could omit flops/points (the
+    # metrics silently read as 0).  The unified front door requires
+    # them declared; keep old builds running through the deprecation
+    # window -- on a copy, so the caller's build still gets the strict
+    # error from the new entry points.
+    if not {"flops", "points"} <= build.meta.keys():
+        build = dataclasses.replace(
+            build, meta={"flops": 0, "points": 0, **build.meta})
+    return execute_build(build, cfg=cfg, max_cycles=max_cycles,
+                         require_correct=require_correct)
 
 
 def run_stencil_variant(kernel: str, variant: Variant,
                         grid: Grid3d | None = None,
                         cfg: CoreConfig | None = None,
                         unroll: int = 4,
-                        max_cycles: int = 5_000_000) -> RunResult:
-    """Convenience wrapper: build and run one paper data point."""
-    spec, default_grid = get_stencil(kernel)
-    build = build_stencil(spec, grid or default_grid, variant,
-                          unroll=unroll, cfg=cfg)
-    return run_build(build, cfg=cfg, max_cycles=max_cycles)
+                        max_cycles: int = 5_000_000) -> Result:
+    """Deprecated alias of :func:`execute_stencil`.
+
+    .. deprecated:: 1.5
+       Use ``repro.api.Session.run(workload(kernel, variant, ...))``.
+    """
+    warnings.warn(
+        "run_stencil_variant() is deprecated; use "
+        "repro.api.Session.run(workload(kernel, variant, ...)) "
+        "(or repro.eval.runner.execute_stencil). Note: clock_hz/flops/"
+        "points moved from result.meta to typed Result fields",
+        DeprecationWarning, stacklevel=2)
+    return execute_stencil(kernel, variant, grid=grid, cfg=cfg,
+                           unroll=unroll, max_cycles=max_cycles)

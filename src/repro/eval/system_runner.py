@@ -1,19 +1,28 @@
-"""Run partitioned stencils on a multi-cluster system, collect metrics.
+"""Multi-cluster execution backend behind the unified API.
 
-The system-level counterpart of :mod:`repro.eval.runner`: builds the
-halo-exchange decomposition (:mod:`repro.kernels.partition`), runs it on
-a :class:`repro.system.System`, verifies the reassembled global grid
+The system-level counterpart of :mod:`repro.eval.runner`:
+:func:`execute_system_stencil` builds the halo-exchange decomposition
+(:mod:`repro.kernels.partition`), runs it on a
+:class:`repro.system.System`, verifies the reassembled global grid
 bit-exactly against the iterated numpy golden model, and returns the
-same :class:`~repro.eval.runner.RunResult` shape the sweep engine and
-CLI already consume -- with system-level aggregation (per-cluster
-cycles, global-memory traffic, interconnect contention) in ``meta``.
+same unified :class:`~repro.api.result.Result` every other backend
+produces -- with the system-level aggregation (per-cluster cycles,
+global-memory traffic, interconnect contention) as a typed
+:class:`~repro.api.result.SystemReport` (mirrored into ``meta`` for
+pre-1.5 consumers, one release).
+
+The pre-1.5 entry point :func:`run_system_stencil` remains as a
+deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api.result import Result, SystemReport
 from repro.core.config import CoreConfig, SystemConfig
 from repro.energy.model import EnergyModel
-from repro.eval.runner import RunResult
+from repro.eval.runner import _pop_throughput_inputs
 from repro.kernels.layout import Grid3d
 from repro.kernels.partition import build_partitioned_stencil
 from repro.kernels.registry import get_stencil
@@ -45,15 +54,15 @@ def make_system_config(num_clusters: int = 1,
     return sys_cfg
 
 
-def run_system_stencil(kernel: str, variant: Variant,
-                       grid: Grid3d | None = None,
-                       num_clusters: int = 1,
-                       cfg: CoreConfig | None = None,
-                       sys_cfg: SystemConfig | None = None,
-                       unroll: int = 4, iters: int = 1,
-                       max_cycles: int = 20_000_000,
-                       require_correct: bool = True,
-                       tile_order: list[int] | None = None) -> RunResult:
+def execute_system_stencil(kernel: str, variant: Variant,
+                           grid: Grid3d | None = None,
+                           num_clusters: int = 1,
+                           cfg: CoreConfig | None = None,
+                           sys_cfg: SystemConfig | None = None,
+                           unroll: int = 4, iters: int = 1,
+                           max_cycles: int = 20_000_000,
+                           require_correct: bool = True,
+                           tile_order: list[int] | None = None) -> Result:
     """Build, run and verify one multi-cluster stencil data point."""
     spec, default_grid = get_stencil(kernel)
     grid = grid or default_grid
@@ -80,22 +89,63 @@ def run_system_stencil(kernel: str, variant: Variant,
     energy = model.system_report(system)
 
     meta = dict(build.meta)
-    meta["clock_hz"] = sys_cfg.core.clock_hz
-    meta["per_cluster_cycles"] = system.per_cluster_cycles()
-    meta["sys_barriers"] = system.sys_barriers
-    meta["gmem_bytes_read"] = system.gmem.bytes_read
-    meta["gmem_bytes_written"] = system.gmem.bytes_written
-    meta["gmem_latency_cycles"] = system.gmem.transfer_latency_cycles
-    meta["interconnect_busy_cycles"] = system.interconnect.busy_cycles
-    meta["interconnect_contended_cycles"] = \
-        system.interconnect.contended_cycles
-    return RunResult(
+    report = SystemReport(
+        num_clusters=meta.get("num_clusters", num_clusters),
+        iters=meta.get("iters", iters),
+        per_cluster_cycles=system.per_cluster_cycles(),
+        sys_barriers=system.sys_barriers,
+        gmem_bytes_read=system.gmem.bytes_read,
+        gmem_bytes_written=system.gmem.bytes_written,
+        gmem_latency_cycles=system.gmem.transfer_latency_cycles,
+        interconnect_busy_cycles=system.interconnect.busy_cycles,
+        interconnect_contended_cycles=system.interconnect.contended_cycles,
+    )
+    flops, points = _pop_throughput_inputs(build.name, meta)
+    # Mirror of the typed sub-report for pre-1.5 meta consumers (one
+    # release; ``Result.system`` is authoritative).
+    meta.update({k: v for k, v in report.to_dict().items()
+                 if k not in ("num_clusters", "iters")})
+    return Result(
         name=build.name,
         correct=correct,
         cycles=system.cycle,
         region_cycles=system.cycle,
         fpu_utilization=system.fpu_utilization(),
         energy=energy,
+        clock_hz=sys_cfg.core.clock_hz,
+        flops=flops,
+        points=points,
         meta=meta,
         stalls=system.stall_breakdown(),
+        system=report,
     )
+
+
+def run_system_stencil(kernel: str, variant: Variant,
+                       grid: Grid3d | None = None,
+                       num_clusters: int = 1,
+                       cfg: CoreConfig | None = None,
+                       sys_cfg: SystemConfig | None = None,
+                       unroll: int = 4, iters: int = 1,
+                       max_cycles: int = 20_000_000,
+                       require_correct: bool = True,
+                       tile_order: list[int] | None = None) -> Result:
+    """Deprecated alias of :func:`execute_system_stencil`.
+
+    .. deprecated:: 1.5
+       Use ``repro.api.Session.run(workload(..., num_clusters=N))``.
+    """
+    warnings.warn(
+        "run_system_stencil() is deprecated; use "
+        "repro.api.Session.run(workload(kernel, variant, "
+        "num_clusters=N, ...)) (or "
+        "repro.eval.system_runner.execute_system_stencil). Note: "
+        "clock_hz/flops/points moved from result.meta to typed Result "
+        "fields (the system aggregates stay mirrored in meta for one "
+        "release)",
+        DeprecationWarning, stacklevel=2)
+    return execute_system_stencil(
+        kernel, variant, grid=grid, num_clusters=num_clusters, cfg=cfg,
+        sys_cfg=sys_cfg, unroll=unroll, iters=iters,
+        max_cycles=max_cycles, require_correct=require_correct,
+        tile_order=tile_order)

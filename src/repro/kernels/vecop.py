@@ -125,6 +125,7 @@ def build_vecop(n: int = 256, variant: VecopVariant = VecopVariant.BASELINE,
             "loop_mode": loop_mode,
             "unroll": 1 if variant is VecopVariant.BASELINE else unroll,
             "flops": 2 * n,
+            "points": n,
             "expected_compute_ops": 2 * n,
             "arch_accumulators": {
                 VecopVariant.BASELINE: 1,

@@ -3,17 +3,28 @@ content-addressed result caching, and aggregation.
 
 Quick start::
 
-    from repro.sweep import SweepSpec, SweepRunner
+    from repro.api import Session
+    from repro.sweep import SweepSpec
 
     spec = SweepSpec(kernels=("box3d1r",), grids=((2, 4, 16), (4, 6, 32)),
                      overrides=({"tcdm_banks": 16}, {"tcdm_banks": 32}))
-    campaign = SweepRunner(cache=".sweep-cache").run(spec)
+    campaign = Session(cache=".sweep-cache").map(spec.points(),
+                                                 parallel=True)
     for outcome in campaign.ok:
         print(outcome.point.label, outcome.result.fpu_utilization)
 
-See ``docs/sweeps.md`` for the spec format and cache layout.
+(The lower-level :class:`SweepRunner` remains the engine underneath
+``Session.map``.)  See ``docs/sweeps.md`` for the spec format and cache
+layout.  The expansion unit ``Point`` is deprecated: it is the same
+class as :class:`repro.api.Workload` (identical fields, canonical form
+and cache keys).
 """
 
+from repro.api.workloads import (
+    Workload,
+    deprecated_point_alias,
+    make_workload,
+)
 from repro.sweep.aggregate import (
     RESULT_METRICS,
     best_points,
@@ -33,29 +44,32 @@ from repro.sweep.runner import (
     execute_point,
 )
 from repro.sweep.spec import (
-    Point,
     SweepSpec,
     VECOP_KERNEL,
-    make_point,
     normalize_variant,
 )
+
+#: Deprecated alias of :func:`repro.api.workloads.make_workload` (kept
+#: callable without a warning; ``Point`` warns via ``__getattr__``).
+make_point = make_workload
 
 __all__ = [
     "Campaign",
     "Outcome",
     "PRESETS",
-    "Point",
     "RESULT_METRICS",
     "ResultCache",
     "SweepRunner",
     "SweepSpec",
     "VECOP_KERNEL",
+    "Workload",
     "apply_overrides",
     "best_points",
     "by_kernel_variant",
     "execute_point",
     "group_by",
     "make_point",
+    "make_workload",
     "normalize_variant",
     "point_key",
     "preset_points",
@@ -64,3 +78,11 @@ __all__ = [
     "speedup_vs_baseline",
     "summary_rows",
 ]
+
+
+def __getattr__(name: str):
+    # Not in __all__ on purpose: star imports stay warning-free.
+    if name == "Point":
+        return deprecated_point_alias(f"{__name__}.Point")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -11,21 +11,16 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.api.result import RESULT_METRICS as RESULT_METRICS  # re-export
+from repro.api.result import Result
 from repro.eval.report import geomean
-from repro.eval.runner import RunResult
 
 #: Metrics where smaller is better (everything else is maximized).
 LOWER_IS_BETTER = frozenset({"region_cycles", "cycles", "power_mw",
                              "cycles_per_point"})
 
-#: Metric names resolvable on a RunResult (for early CLI validation).
-RESULT_METRICS = frozenset({
-    "cycles", "region_cycles", "fpu_utilization", "power_mw", "gflops",
-    "gflops_per_watt", "cycles_per_point",
-})
 
-
-def metric_of(result: RunResult, metric: str) -> float:
+def metric_of(result: Result, metric: str) -> float:
     """Read a named metric off a result (attribute or property)."""
     return float(getattr(result, metric))
 
@@ -105,7 +100,7 @@ def summary_rows(outcomes: Iterable) -> list[list]:
     rows = []
     for outcome in outcomes:
         if outcome.ok:
-            res = outcome.result
+            res = outcome.result  # attrs == the schema's scalar fields
             rows.append([
                 outcome.point.label, outcome.status,
                 round(res.fpu_utilization, 3), res.region_cycles,

@@ -3,10 +3,16 @@
 Layout: one directory holding
 
 * ``results.jsonl`` -- append-only, one JSON record per completed point:
-  ``{"key", "version", "point", "seconds", "result"}``;
+  ``{"key", "version", "point", "seconds", "result"}``, where
+  ``result`` is the one canonical schema of
+  :meth:`repro.api.result.Result.to_dict`;
 * nothing else -- the key is content-derived, so the file needs no
-  compaction and concurrent *readers* are always safe.  The runner is
-  the single writer (workers return results to the parent process).
+  compaction and concurrent *readers* are always safe.  Appends come
+  from one process at a time: a campaign's :class:`SweepRunner` parent
+  (workers return results to it) or a :meth:`repro.api.Session.run`
+  call.  Two *simultaneous* writer processes on one cache directory
+  are not coordinated -- an interleaved line would be dropped as torn
+  on the next load.
 
 The key is the SHA-256 of the canonicalized point, the package
 ``__version__``, and the canonicalized base config (when one is in
@@ -22,12 +28,18 @@ import json
 from dataclasses import fields as dataclass_fields
 from pathlib import Path
 
+from repro.api.result import Result
+from repro.api.workloads import Workload
 from repro.core.config import CoreConfig
-from repro.eval.runner import RunResult
-from repro.energy.model import EnergyReport
-from repro.sweep.spec import Point
 
 RESULTS_FILE = "results.jsonl"
+
+
+def package_version() -> str:
+    """The ``repro.__version__`` baked into every cache key (lazy to
+    avoid a circular import; shared by every cache-writing front door)."""
+    from repro import __version__
+    return __version__
 
 
 def config_canonical(cfg: CoreConfig | None) -> dict | None:
@@ -44,7 +56,7 @@ def config_canonical(cfg: CoreConfig | None) -> dict | None:
     return data
 
 
-def point_key(point: Point, version: str,
+def point_key(point: Workload, version: str,
               base_cfg: CoreConfig | None = None,
               engine: str | None = None) -> str:
     """SHA-256 content address of one (point, version, base config,
@@ -65,46 +77,33 @@ def point_key(point: Point, version: str,
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def result_to_record(result: RunResult) -> dict:
-    """Full-fidelity JSON form of a :class:`RunResult`."""
-    return {
-        "name": result.name,
-        "correct": result.correct,
-        "cycles": result.cycles,
-        "region_cycles": result.region_cycles,
-        "fpu_utilization": result.fpu_utilization,
-        "energy": {
-            "total_pj": result.energy.total_pj,
-            "cycles": result.energy.cycles,
-            "clock_hz": result.energy.clock_hz,
-            "breakdown": dict(result.energy.breakdown),
-        },
-        "meta": result.meta,
-        "stalls": dict(result.stalls),
-    }
+def result_to_record(result: Result) -> dict:
+    """Full-fidelity JSON form: the one canonical result schema
+    (:meth:`repro.api.result.Result.to_dict`)."""
+    return result.to_dict()
 
 
-def result_from_record(record: dict) -> RunResult:
-    energy = record["energy"]
-    return RunResult(
-        name=record["name"],
-        correct=record["correct"],
-        cycles=record["cycles"],
-        region_cycles=record["region_cycles"],
-        fpu_utilization=record["fpu_utilization"],
-        energy=EnergyReport(
-            total_pj=energy["total_pj"],
-            cycles=energy["cycles"],
-            clock_hz=energy["clock_hz"],
-            breakdown=dict(energy["breakdown"]),
-        ),
-        meta=dict(record.get("meta", {})),
-        stalls=dict(record.get("stalls", {})),
-    )
+def result_from_record(record: dict) -> Result:
+    """Inverse of :func:`result_to_record`; also lifts pre-1.5 records
+    (see :meth:`repro.api.result.Result.from_dict`)."""
+    return Result.from_dict(record)
 
 
 class ResultCache:
     """Keyed JSONL store; loads its index once, appends as results land."""
+
+    @classmethod
+    def coerce(cls, cache: "ResultCache | str | Path | None"):
+        """One shared coercion for every front door: paths open a
+        cache, existing instances and ``None`` pass through, anything
+        else is rejected here rather than deep inside a campaign."""
+        if cache is None or isinstance(cache, cls):
+            return cache
+        if isinstance(cache, str) or hasattr(cache, "__fspath__"):
+            return cls(cache)
+        raise TypeError(
+            f"cache must be a ResultCache, a path, or None, got "
+            f"{type(cache).__name__}")
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -128,14 +127,14 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._index
 
-    def get(self, key: str) -> RunResult | None:
+    def get(self, key: str) -> Result | None:
         record = self._index.get(key)
         return result_from_record(record["result"]) if record else None
 
     def get_record(self, key: str) -> dict | None:
         return self._index.get(key)
 
-    def put(self, key: str, point: Point, result: RunResult,
+    def put(self, key: str, point: Workload, result: Result,
             seconds: float, version: str) -> None:
         record = {
             "key": key,

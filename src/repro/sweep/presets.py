@@ -10,9 +10,10 @@ builds its point list directly.
 
 from __future__ import annotations
 
+from repro.api.workloads import make_workload
 from repro.kernels.variants import VARIANT_ORDER
 from repro.kernels.vecop import VecopVariant
-from repro.sweep.spec import SweepSpec, VECOP_KERNEL, make_point
+from repro.sweep.spec import SweepSpec, VECOP_KERNEL
 
 #: Depth 7 is the frep limit: the chaining body holds 2*(depth+1)
 #: instructions and the sequencer buffer is 16 entries.
@@ -39,7 +40,7 @@ def depth_ablation_points() -> list:
     points = []
     for depth in ABLATION_DEPTHS:
         for variant in (VecopVariant.BASELINE, VecopVariant.CHAINING):
-            points.append(make_point(
+            points.append(make_workload(
                 VECOP_KERNEL, variant, n=24 * (depth + 1),
                 overrides={"fpu_depth": depth}))
     return points
@@ -88,7 +89,7 @@ def scaling_points() -> list:
             if num_clusters > 1:
                 grids.append((nz * num_clusters, ny, nx))   # weak
             for grid in grids:
-                points.append(make_point(
+                points.append(make_workload(
                     kernel, "Chaining+", grid=grid,
                     system={"num_clusters": num_clusters,
                             "iters": SCALING_ITERS}))

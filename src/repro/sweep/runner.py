@@ -20,7 +20,6 @@ signals cannot reach.
 
 from __future__ import annotations
 
-import copy
 import signal
 import threading
 import time
@@ -29,90 +28,31 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 
+from repro.api.execute import (
+    DEFAULT_MAX_CYCLES,
+    apply_overrides,
+    execute_workload,
+)
+from repro.api.parse import parse_engine
+from repro.api.result import Result
+from repro.api.workloads import Workload
 from repro.core.config import CoreConfig
-from repro.eval.runner import RunResult, run_build, run_stencil_variant
-from repro.isa.instructions import InstrClass
-from repro.kernels.vecop import VecopVariant, build_vecop
-from repro.sweep.cache import ResultCache, point_key, result_to_record
-from repro.sweep.spec import FPU_DEPTH_KEY, Point, SweepSpec
+from repro.sweep.cache import ResultCache, package_version, point_key, \
+    result_to_record
+from repro.sweep.spec import SweepSpec
 
-DEFAULT_MAX_CYCLES = 5_000_000
+__all__ = [
+    "Campaign",
+    "DEFAULT_MAX_CYCLES",
+    "Outcome",
+    "SweepRunner",
+    "apply_overrides",
+    "execute_point",
+]
 
-
-def apply_overrides(base_cfg: CoreConfig | None,
-                    overrides: tuple[tuple[str, object], ...],
-                    ) -> CoreConfig | None:
-    """Materialize a point's config; ``None`` when nothing is overridden.
-
-    Returning ``None`` (rather than a fresh default ``CoreConfig``) keeps
-    the un-overridden path byte-identical to calling the eval runner
-    directly.
-    """
-    if base_cfg is None and not overrides:
-        return None
-    cfg = copy.deepcopy(base_cfg) if base_cfg is not None else CoreConfig()
-    for key, value in overrides:
-        if key == FPU_DEPTH_KEY:
-            depth = int(value)
-            cfg.fpu_pipe_depth = depth
-            cfg.fpu_latency = dict(cfg.fpu_latency)
-            for iclass in (InstrClass.FP_ADD, InstrClass.FP_MUL,
-                           InstrClass.FP_FMA):
-                cfg.fpu_latency[iclass] = depth
-        else:
-            setattr(cfg, key, value)
-    cfg.validate()
-    return cfg
-
-
-def execute_point(point: Point, base_cfg: CoreConfig | None = None,
-                  max_cycles: int = DEFAULT_MAX_CYCLES,
-                  engine: str | None = None) -> RunResult:
-    """Run one point to completion in this process.
-
-    ``engine`` (``"auto"``/``"fast"``/``"scalar"``/``"scalar-v2"``)
-    overrides the
-    config's execution-engine selection; ``None`` (and the default
-    ``"auto"``) leaves the un-overridden path byte-identical to calling
-    the eval runner directly.
-    """
-    cfg = apply_overrides(base_cfg, point.overrides)
-    point_engine = dict(point.overrides).get("engine")
-    if engine is not None and point_engine is None:
-        if engine != "auto" or (cfg is not None and cfg.engine != "auto"):
-            cfg = cfg or CoreConfig()
-            cfg.engine = engine
-            cfg.validate()
-    if point.is_vecop:
-        kwargs = {"variant": VecopVariant(point.variant), "cfg": cfg}
-        if point.n is not None:
-            kwargs["n"] = point.n
-        if point.loop_mode is not None:
-            kwargs["loop_mode"] = point.loop_mode
-        return run_build(build_vecop(**kwargs), cfg=cfg,
-                         max_cycles=max_cycles)
-    if point.is_system:
-        from repro.eval.system_runner import (
-            make_system_config,
-            run_system_stencil,
-        )
-
-        axes = dict(point.system)
-        num_clusters = axes.pop("num_clusters", 1)
-        iters = axes.pop("iters", 1)
-        sys_cfg = make_system_config(num_clusters, cfg, **axes)
-        kwargs = {"grid": point.grid3d()}
-        if point.unroll is not None:
-            kwargs["unroll"] = point.unroll
-        return run_system_stencil(
-            point.kernel, point.stencil_variant(),
-            num_clusters=num_clusters, sys_cfg=sys_cfg, iters=iters,
-            max_cycles=max_cycles, **kwargs)
-    kwargs = {"grid": point.grid3d(), "cfg": cfg}
-    if point.unroll is not None:
-        kwargs["unroll"] = point.unroll
-    return run_stencil_variant(point.kernel, point.stencil_variant(),
-                               max_cycles=max_cycles, **kwargs)
+#: Pre-1.5 name of :func:`repro.api.execute.execute_workload` (same
+#: function; the unit of work was renamed Point -> Workload).
+execute_point = execute_workload
 
 
 class _PointTimeout(Exception):
@@ -128,7 +68,8 @@ def _raise_point_timeout(signum, frame):
     raise _PointTimeout()
 
 
-def _worker(point: Point, base_cfg: CoreConfig | None, max_cycles: int,
+def _worker(point: Workload, base_cfg: CoreConfig | None,
+            max_cycles: int | None,
             timeout: float | None = None,
             engine: str | None = None) -> tuple[str, object, float]:
     """Pool entry point: never raises, always returns a picklable triple.
@@ -164,9 +105,9 @@ def _worker(point: Point, base_cfg: CoreConfig | None, max_cycles: int,
 class Outcome:
     """One point's fate in a campaign."""
 
-    point: Point
+    point: Workload
     status: str                  # "ok" | "error" | "timeout"
-    result: RunResult | None = None
+    result: Result | None = None
     error: str | None = None
     seconds: float = 0.0
     cached: bool = False
@@ -219,8 +160,8 @@ class Campaign:
         return self.cached_count / len(self.outcomes) if self.outcomes \
             else 0.0
 
-    def results(self) -> dict[Point, RunResult]:
-        """Point -> result for every successful outcome."""
+    def results(self) -> dict[Workload, Result]:
+        """Workload -> result for every successful outcome."""
         return {o.point: o.result for o in self.outcomes if o.ok}
 
     def raise_on_failure(self) -> None:
@@ -239,21 +180,21 @@ class SweepRunner:
     runs serially in-process (no pickling -- results are the very objects
     the eval runner produced, which the figure harnesses rely on for
     bit-identical reproduction).
+
+    ``max_cycles=None`` (default) uses the per-workload backend budgets
+    (5M single-cluster, 20M system) -- identical to ``Session.run``, so
+    what a cache holds never depends on which front door simulated it.
     """
 
     def __init__(self, cache: ResultCache | str | None = None,
                  workers: int | None = None,
                  timeout: float | None = None,
                  base_cfg: CoreConfig | None = None,
-                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 max_cycles: int | None = None,
                  engine: str | None = None):
-        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
-            cache = ResultCache(cache)
-        if engine is not None and engine not in (
-                "auto", "fast", "scalar", "scalar-v2"):
-            raise ValueError(
-                f"engine must be 'auto', 'fast', 'scalar' or "
-                f"'scalar-v2', got {engine!r}")
+        cache = ResultCache.coerce(cache)
+        if engine is not None:
+            parse_engine(engine)
         self.cache = cache
         self.workers = workers
         self.timeout = timeout
@@ -262,10 +203,6 @@ class SweepRunner:
         #: Campaign-wide engine selection; a per-point ``("engine", ...)``
         #: override still wins.  Part of every cache key.
         self.engine = engine
-
-    def _version(self) -> str:
-        from repro import __version__
-        return __version__
 
     def run(self, spec_or_points, progress=None) -> Campaign:
         """Execute a :class:`SweepSpec` or an explicit list of points.
@@ -278,10 +215,10 @@ class SweepRunner:
         else:
             points = list(spec_or_points)
         start = time.perf_counter()
-        version = self._version()
+        version = package_version()
 
         outcomes: dict[int, Outcome] = {}
-        pending: list[tuple[int, Point, str | None]] = []
+        pending: list[tuple[int, Workload, str | None]] = []
         for index, point in enumerate(points):
             key = None
             if self.cache is not None:

@@ -1,8 +1,8 @@
-"""Declarative sweep specifications and their expansion into points.
+"""Declarative sweep specifications and their expansion into workloads.
 
 A :class:`SweepSpec` describes an experiment campaign as axes (kernels,
 variants, grids, core-config overrides, ...) whose cartesian product is
-expanded into hashable, canonicalizable :class:`Point` dataclasses -- the
+expanded into :class:`~repro.api.workloads.Workload` dataclasses -- the
 unit of work the runner executes and the cache keys.
 
 Two workload kinds share one spec:
@@ -20,256 +20,58 @@ Config overrides are flat ``{field: value}`` dicts over the scalar
 :class:`~repro.core.config.CoreConfig` fields, plus the virtual key
 ``fpu_depth`` which sets ``fpu_pipe_depth`` *and* the ADD/MUL/FMA
 latencies together (the knob of the depth ablation).
+
+The expansion unit used to be defined here as ``Point``; it now lives
+in :mod:`repro.api.workloads` as :class:`Workload` (identical fields,
+canonical form and cache keys).  ``Point`` and ``make_point`` remain as
+deprecated aliases for one release.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, field
 
-from repro.core.config import CoreConfig
-from repro.kernels.layout import Grid3d
-from repro.kernels.registry import PAPER_KERNELS, STENCILS
-from repro.kernels.variants import VARIANT_ORDER, Variant
+from repro.api.parse import (
+    VECOP_KERNEL,
+    normalize_variant,
+    resolve_variant,
+)
+from repro.api.workloads import (
+    FPU_DEPTH_KEY,
+    OVERRIDABLE_FIELDS,
+    SYSTEM_FIELDS,
+    Workload,
+    deprecated_point_alias,
+    make_workload,
+)
+from repro.kernels.registry import PAPER_KERNELS
+from repro.kernels.variants import VARIANT_ORDER
 from repro.kernels.vecop import VecopVariant
 
-#: Pseudo-kernel name routing a point through the Fig. 1 vecop builder.
-VECOP_KERNEL = "vecop"
+__all__ = [
+    "FPU_DEPTH_KEY",
+    "OVERRIDABLE_FIELDS",
+    "SYSTEM_FIELDS",
+    "SweepSpec",
+    "VECOP_KERNEL",
+    "Workload",
+    "make_point",
+    "normalize_variant",
+    "resolve_variant",
+]
 
-#: Virtual override key: pipeline depth *and* ADD/MUL/FMA latency.
-FPU_DEPTH_KEY = "fpu_depth"
-
-#: CoreConfig fields a sweep may override (scalars only; the latency
-#: dict is reached through the ``fpu_depth`` virtual key).
-OVERRIDABLE_FIELDS = frozenset(
-    f.name for f in dataclass_fields(CoreConfig) if f.name != "fpu_latency"
-) | {FPU_DEPTH_KEY}
-
-#: Multi-cluster system axes a (stencil) point may set: the cluster
-#: count, the sweep count of the halo-exchange schedule, and the
-#: interconnect/global-memory knobs of
-#: :class:`~repro.core.config.SystemConfig`.  Part of every cache key.
-SYSTEM_FIELDS = frozenset({
-    "num_clusters", "iters", "gmem_banks", "gmem_bank_bytes_per_cycle",
-    "gmem_latency", "link_bytes_per_cycle", "gmem_size",
-})
-
-_STENCIL_LABELS = {v.label.lower(): v.label for v in Variant}
-_VECOP_LABELS = {v.value.lower(): v.value for v in VecopVariant}
+#: Deprecated alias of :func:`repro.api.workloads.make_workload`, kept
+#: callable without a warning because the sweep spec format is
+#: unchanged; ``Point`` (the class) warns via module ``__getattr__``.
+make_point = make_workload
 
 
-def resolve_variant(variant, for_vecop: bool) -> str | None:
-    """Canonical label of ``variant`` within one workload kind, or
-    ``None`` if the spelling does not name a variant of that kind.
-
-    Case-insensitive; enum instances resolve only in their own kind.
-    Some spellings name a variant in *both* kinds (``"chaining"`` is the
-    vecop variant and, case-insensitively, the stencil ``Chaining``), so
-    resolution is always relative to a kernel's kind.
-    """
-    if isinstance(variant, Variant):
-        return variant.label if not for_vecop else None
-    if isinstance(variant, VecopVariant):
-        return variant.value if for_vecop else None
-    pool = _VECOP_LABELS if for_vecop else _STENCIL_LABELS
-    return pool.get(str(variant).lower())
-
-
-def normalize_variant(variant) -> str:
-    """Canonical label for any accepted variant spelling, any kind.
-
-    Ambiguous spellings resolve to the vecop label; use
-    :func:`resolve_variant` when the workload kind is known (matching
-    against canonical labels should be done case-insensitively).
-    """
-    label = resolve_variant(variant, for_vecop=True)
-    if label is None:
-        label = resolve_variant(variant, for_vecop=False)
-    if label is None:
-        options = list(_VECOP_LABELS.values()) + \
-            list(_STENCIL_LABELS.values())
-        raise ValueError(
-            f"unknown variant {variant!r}; choose from: "
-            f"{', '.join(options)}")
-    return label
-
-
-def _normalize_grid(grid) -> tuple[int, ...] | None:
-    if grid is None:
-        return None
-    if isinstance(grid, Grid3d):
-        dims = (grid.nz, grid.ny, grid.nx)
-        return dims if grid.radius == 1 else dims + (grid.radius,)
-    dims = tuple(int(d) for d in grid)
-    if len(dims) not in (3, 4):
-        raise ValueError(f"grid must be (nz, ny, nx[, radius]), got {grid!r}")
-    return dims
-
-
-def _normalize_overrides(overrides) -> tuple[tuple[str, object], ...]:
-    if not overrides:
-        return ()
-    items = dict(overrides).items()
-    for key, value in items:
-        if key not in OVERRIDABLE_FIELDS:
-            raise ValueError(
-                f"unknown config override {key!r}; choose from: "
-                f"{', '.join(sorted(OVERRIDABLE_FIELDS))}")
-        if key == "engine":
-            if value not in ("auto", "fast", "scalar", "scalar-v2"):
-                raise ValueError(
-                    f"override engine={value!r} must be 'auto', 'fast', "
-                    f"'scalar' or 'scalar-v2'")
-        elif not isinstance(value, (bool, int, float)):
-            raise ValueError(
-                f"override {key}={value!r} must be a scalar")
-    return tuple(sorted(items))
-
-
-def _normalize_system(system) -> tuple[tuple[str, int], ...]:
-    """Validate and canonicalize a point's multi-cluster system axes."""
-    if not system:
-        return ()
-    items = dict(system).items()
-    out = []
-    for key, value in items:
-        if key not in SYSTEM_FIELDS:
-            raise ValueError(
-                f"unknown system axis {key!r}; choose from: "
-                f"{', '.join(sorted(SYSTEM_FIELDS))}")
-        if isinstance(value, bool) or not isinstance(value, int):
-            raise ValueError(
-                f"system axis {key}={value!r} must be an integer")
-        out.append((key, value))
-    return tuple(sorted(out))
-
-
-@dataclass(frozen=True)
-class Point:
-    """One fully-determined experiment: hashable, orderable, cacheable.
-
-    ``grid``/``unroll`` apply to stencil kernels, ``n``/``loop_mode`` to
-    the vecop pseudo-kernel; inapplicable fields stay ``None`` so the
-    canonical form is stable across spec spellings.
-    """
-
-    kernel: str
-    variant: str
-    grid: tuple[int, ...] | None = None
-    n: int | None = None
-    loop_mode: str | None = None
-    unroll: int | None = None
-    overrides: tuple[tuple[str, object], ...] = ()
-    #: Multi-cluster axes (``num_clusters``, ``iters``, interconnect and
-    #: global-memory knobs); empty for plain single-cluster points.
-    #: Always part of :meth:`canonical` -- and therefore of the sweep
-    #: cache key -- so a cached single-cluster result can never be
-    #: served for a multi-cluster point.
-    system: tuple[tuple[str, int], ...] = ()
-
-    @property
-    def is_vecop(self) -> bool:
-        return self.kernel == VECOP_KERNEL
-
-    @property
-    def is_system(self) -> bool:
-        """True when the point runs on a multi-cluster System."""
-        return bool(self.system)
-
-    @property
-    def num_clusters(self) -> int:
-        return dict(self.system).get("num_clusters", 1)
-
-    def grid3d(self) -> Grid3d | None:
-        if self.grid is None:
-            return None
-        nz, ny, nx = self.grid[:3]
-        radius = self.grid[3] if len(self.grid) > 3 else 1
-        return Grid3d(nz=nz, ny=ny, nx=nx, radius=radius)
-
-    def stencil_variant(self) -> Variant:
-        return Variant.from_label(self.variant)
-
-    def canonical(self) -> dict:
-        """Plain-type, key-sorted dict -- the content-address payload."""
-        return {
-            "kernel": self.kernel,
-            "variant": self.variant,
-            "grid": list(self.grid) if self.grid else None,
-            "n": self.n,
-            "loop_mode": self.loop_mode,
-            "unroll": self.unroll,
-            "overrides": [[k, v] for k, v in self.overrides],
-            "system": [[k, v] for k, v in self.system],
-        }
-
-    @classmethod
-    def from_canonical(cls, data: dict) -> "Point":
-        return cls(
-            kernel=data["kernel"],
-            variant=data["variant"],
-            grid=tuple(data["grid"]) if data.get("grid") else None,
-            n=data.get("n"),
-            loop_mode=data.get("loop_mode"),
-            unroll=data.get("unroll"),
-            overrides=tuple((k, v) for k, v in data.get("overrides", ())),
-            system=tuple((k, v) for k, v in data.get("system", ())),
-        )
-
-    @property
-    def label(self) -> str:
-        """Short human-readable identifier for progress/tables."""
-        parts = [f"{self.kernel}/{self.variant}"]
-        if self.grid:
-            parts.append("x".join(str(d) for d in self.grid))
-        if self.n is not None:
-            parts.append(f"n={self.n}")
-        if self.loop_mode:
-            parts.append(self.loop_mode)
-        if self.unroll is not None:
-            parts.append(f"unroll={self.unroll}")
-        parts.extend(f"{k}={v}" for k, v in self.overrides)
-        parts.extend(f"{k}={v}" for k, v in self.system)
-        return " ".join(parts)
-
-
-def make_point(kernel: str, variant, grid=None, n=None, loop_mode=None,
-               unroll=None, overrides=None, system=None) -> Point:
-    """Validating :class:`Point` constructor accepting loose input types."""
-    kernel = str(kernel)
-    if kernel != VECOP_KERNEL and kernel not in STENCILS:
-        options = [VECOP_KERNEL, *STENCILS]
-        raise ValueError(
-            f"unknown kernel {kernel!r}; choose from: {', '.join(options)}")
-    is_vecop = kernel == VECOP_KERNEL
-    label = resolve_variant(variant, for_vecop=is_vecop)
-    if label is None:
-        pool = _VECOP_LABELS if is_vecop else _STENCIL_LABELS
-        raise ValueError(
-            f"unknown variant {variant!r} for kernel {kernel!r}; "
-            f"choose from: {', '.join(pool.values())}")
-    # Inapplicable axes would create distinct cache keys (and labels)
-    # for identical simulations, so they are rejected outright.
-    if is_vecop and (grid is not None or unroll is not None):
-        raise ValueError(
-            f"kernel {kernel!r} takes n/loop_mode, not grid/unroll")
-    if not is_vecop and (n is not None or loop_mode is not None):
-        raise ValueError(
-            f"kernel {kernel!r} takes grid/unroll, not n/loop_mode")
-    if is_vecop and system:
-        raise ValueError(
-            f"kernel {kernel!r} cannot take system axes; domain "
-            f"decomposition applies to stencil kernels only")
-    return Point(
-        kernel=kernel,
-        variant=label,
-        grid=_normalize_grid(grid),
-        n=int(n) if n is not None else None,
-        loop_mode=str(loop_mode) if loop_mode is not None else None,
-        unroll=int(unroll) if unroll is not None else None,
-        overrides=_normalize_overrides(overrides),
-        system=_normalize_system(system),
-    )
+def __getattr__(name: str):
+    if name == "Point":
+        return deprecated_point_alias(f"{__name__}.Point")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -281,7 +83,7 @@ class SweepSpec:
     registry default grid; ``None`` on ``unrolls`` selects the builder
     default.  The ``systems`` axis (multi-cluster ``num_clusters`` /
     ``iters`` / interconnect dicts) applies to stencil kernels only; the
-    vecop pseudo-kernel ignores it (its points are always
+    vecop pseudo-kernel ignores it (its workloads are always
     single-cluster).
     """
 
@@ -308,12 +110,12 @@ class SweepSpec:
                 labels.append(label)
         return labels
 
-    def points(self) -> list[Point]:
+    def points(self) -> list[Workload]:
         """Expand, validate, and deduplicate (order-preserving)."""
         for variant in self.variants or ():
             normalize_variant(variant)  # reject outright typos eagerly
-        out: list[Point] = []
-        seen: set[Point] = set()
+        out: list[Workload] = []
+        seen: set[Workload] = set()
         for kernel in self.kernels:
             is_vecop = kernel == VECOP_KERNEL
             labels = self._variant_labels(for_vecop=is_vecop)
@@ -322,14 +124,14 @@ class SweepSpec:
                     if is_vecop:
                         for n in self.ns:
                             for loop_mode in self.loop_modes:
-                                out.append(make_point(
+                                out.append(make_workload(
                                     kernel, variant, n=n,
                                     loop_mode=loop_mode, overrides=over))
                     else:
                         for grid in self.grids:
                             for unroll in self.unrolls:
                                 for system in self.systems:
-                                    out.append(make_point(
+                                    out.append(make_workload(
                                         kernel, variant, grid=grid,
                                         unroll=unroll, overrides=over,
                                         system=system))

@@ -1,0 +1,119 @@
+"""Golden-file tests: every emitter speaks the one result schema.
+
+``repro run --json``, ``repro sweep --json``, ``repro sweep --csv`` and
+the result cache's JSONL records must all carry exactly the canonical
+:mod:`repro.api.result` schema -- same keys, same values for the same
+workload.
+"""
+
+import csv
+import json
+
+from repro.api import RESULT_KEYS, RESULT_SCALARS
+from repro.cli import CSV_IDENTITY, CSV_METRICS, main
+
+#: The sweep CSV header, in full -- the schema seam made visible.
+GOLDEN_CSV_HEADER = (
+    "kernel,variant,grid,n,loop_mode,unroll,overrides,system,"
+    "status,cached,seconds,"
+    "correct,cycles,region_cycles,fpu_utilization,clock_hz,flops,points,"
+    "gflops,gflops_per_watt,power_mw,cycles_per_point"
+)
+
+SPEC = {
+    "name": "golden",
+    "kernels": ["vecop"],
+    "variants": ["baseline", "chaining"],
+    "ns": [16],
+}
+
+
+def test_csv_columns_derive_from_the_schema():
+    assert ",".join([*CSV_IDENTITY, *CSV_METRICS]) == GOLDEN_CSV_HEADER
+    assert set(CSV_METRICS) == set(RESULT_SCALARS) - {"name"}
+
+
+def test_run_json_is_the_canonical_schema(tmp_path):
+    path = tmp_path / "run.json"
+    assert main(["run", "--kernel", "box3d1r", "--variant", "Chaining+",
+                 "--nz", "2", "--ny", "3", "--nx", "8",
+                 "--json", str(path)]) == 0
+    record = json.loads(path.read_text())
+    assert tuple(record) == RESULT_KEYS
+    assert record["schema"] == "repro-result/v1"
+    assert record["system"] is None
+
+
+def test_run_json_system_carries_the_sub_report(tmp_path):
+    path = tmp_path / "run.json"
+    assert main(["run", "--kernel", "box3d1r", "--variant", "Chaining+",
+                 "--nz", "2", "--ny", "4", "--nx", "8",
+                 "--num-clusters", "2", "--json", str(path)]) == 0
+    record = json.loads(path.read_text())
+    assert tuple(record) == RESULT_KEYS
+    assert record["system"]["num_clusters"] == 2
+    assert len(record["system"]["per_cluster_cycles"]) == 2
+
+
+def test_sweep_json_csv_and_cache_jsonl_agree(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(SPEC))
+    cache = tmp_path / "cache"
+    out_json = tmp_path / "out.json"
+    out_csv = tmp_path / "out.csv"
+    assert main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
+                 "--workers", "0", "--quiet", "--json", str(out_json),
+                 "--csv", str(out_csv)]) == 0
+    capsys.readouterr()
+
+    # 1. sweep --json outcomes carry the schema verbatim.
+    sweep_records = {
+        o["label"]: o["result"]
+        for o in json.loads(out_json.read_text())["outcomes"]}
+    assert len(sweep_records) == 2
+    for record in sweep_records.values():
+        assert tuple(record) == RESULT_KEYS
+
+    # 2. cache JSONL "result" payloads are the very same records.
+    jsonl = [json.loads(line) for line in
+             (cache / "results.jsonl").read_text().splitlines()]
+    assert len(jsonl) == 2
+    for entry in jsonl:
+        # The cache appends with sort_keys=True (stable diffs), so key
+        # *set* equality is the schema contract here.
+        assert sorted(entry["result"]) == sorted(RESULT_KEYS)
+    by_label = {
+        "vecop/" + entry["point"]["variant"] + " n=16": entry["result"]
+        for entry in jsonl}
+    assert by_label == sweep_records
+
+    # 3. the CSV header and rows are the schema's scalar projection.
+    rows = list(csv.DictReader(out_csv.read_text().splitlines()))
+    assert ",".join(rows[0].keys()) == GOLDEN_CSV_HEADER
+    for row in rows:
+        record = sweep_records[f"vecop/{row['variant']} n=16"]
+        for column in CSV_METRICS:
+            assert row[column] == str(record[column])
+
+
+def test_run_and_sweep_emit_identical_records_for_one_workload(tmp_path,
+                                                               capsys):
+    run_json = tmp_path / "run.json"
+    assert main(["run", "--kernel", "box3d1r", "--variant", "Base",
+                 "--nz", "2", "--ny", "3", "--nx", "8",
+                 "--json", str(run_json)]) == 0
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "kernels": ["box3d1r"], "variants": ["Base"],
+        "grids": [[2, 3, 8]],
+    }))
+    sweep_json = tmp_path / "sweep.json"
+    assert main(["sweep", "--spec", str(spec), "--no-cache", "--quiet",
+                 "--workers", "0", "--json", str(sweep_json)]) == 0
+    capsys.readouterr()
+    run_record = json.loads(run_json.read_text())
+    sweep_record = \
+        json.loads(sweep_json.read_text())["outcomes"][0]["result"]
+    # The default unroll differs in spelling only (None vs 4), so the
+    # simulated numbers -- the whole record -- must coincide.
+    assert run_record == sweep_record

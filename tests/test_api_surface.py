@@ -1,0 +1,124 @@
+"""Public-API surface snapshots.
+
+``repro.__all__`` and ``repro.api.__all__`` are pinned against
+checked-in lists so that surface changes are always a reviewed,
+deliberate diff -- update the snapshot here when the API genuinely
+grows or shrinks.
+"""
+
+import warnings
+
+import repro
+import repro.api
+
+REPRO_ALL = [
+    "AreaModel",
+    "Campaign",
+    "ChainController",
+    "Cluster",
+    "CoreConfig",
+    "EnergyModel",
+    "EnergyParams",
+    "GLOBAL_BASE",
+    "Grid3d",
+    "KernelBuild",
+    "Result",
+    "ResultCache",
+    "RunResult",
+    "Session",
+    "StencilSpec",
+    "SweepRunner",
+    "SweepSpec",
+    "System",
+    "SystemConfig",
+    "SystemReport",
+    "TraceRecorder",
+    "Variant",
+    "VecopVariant",
+    "Workload",
+    "__version__",
+    "assemble",
+    "box3d1r",
+    "build_partitioned_stencil",
+    "build_stencil",
+    "build_vecop",
+    "decode",
+    "disassemble",
+    "encode",
+    "geomean",
+    "j3d27pt",
+    "make_point",
+    "make_workload",
+    "render_dataflow",
+    "render_issue_trace",
+    "run_build",
+    "run_stencil_variant",
+    "run_system_stencil",
+    "star3d1r",
+    "workload",
+]
+
+REPRO_API_ALL = [
+    "DEFAULT_MAX_CYCLES",
+    "FPU_DEPTH_KEY",
+    "OVERRIDABLE_FIELDS",
+    "RESULT_KEYS",
+    "RESULT_METRICS",
+    "RESULT_SCALARS",
+    "RESULT_SCHEMA",
+    "Result",
+    "SYSTEM_FIELDS",
+    "Session",
+    "SystemReport",
+    "VECOP_KERNEL",
+    "Workload",
+    "apply_overrides",
+    "execute_workload",
+    "make_workload",
+    "normalize_variant",
+    "parse_engine",
+    "parse_kernel",
+    "parse_stencil_variant",
+    "parse_variant",
+    "resolve_config",
+    "resolve_variant",
+    "workload",
+]
+
+
+def test_repro_all_matches_snapshot():
+    assert sorted(repro.__all__) == REPRO_ALL
+    assert repro.__all__ == sorted(repro.__all__)
+
+
+def test_repro_api_all_matches_snapshot():
+    assert sorted(repro.api.__all__) == REPRO_API_ALL
+    assert repro.api.__all__ == sorted(repro.api.__all__)
+
+
+def test_every_exported_name_resolves():
+    with warnings.catch_warnings():
+        # Point is a deprecated alias; resolving it is still required.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+
+def test_star_import_is_warning_free():
+    """Point is shimmed via __getattr__ but kept OUT of __all__: users
+    who never touch it must not see deprecation noise on `import *`."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        exec("from repro import *", {})
+        exec("from repro.sweep import *", {})
+
+
+def test_deprecated_names_warn_with_pointers():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        getattr(repro, "Point")
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, DeprecationWarning)
+    assert "Workload" in str(caught[0].message)
