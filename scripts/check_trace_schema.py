@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Validate an exported Perfetto (Chrome trace-event) JSON file.
+
+CI runs this over the trace produced by the sweep-smoke job so a schema
+regression in ``repro.obs.export`` fails loudly instead of producing a
+file Perfetto silently refuses to load.  Checks:
+
+* the file parses as JSON and has a ``traceEvents`` list;
+* every event's phase is one we emit (``X`` span, ``i`` instant,
+  ``M`` metadata);
+* timestamps and durations are non-negative finite numbers;
+* ``X``/``i`` events carry numeric ``pid``/``tid`` that a prior ``M``
+  ``process_name``/``thread_name`` record declared;
+* instants carry the ``s`` scope field.
+
+Usage::
+
+    python scripts/check_trace_schema.py trace.json [more.json ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+ALLOWED_PHASES = {"X", "i", "M"}
+
+
+def _fail(path: str, index: int, message: str) -> str:
+    return f"{path}: event {index}: {message}"
+
+
+def validate_trace(path: str) -> list[str]:
+    """Return a list of human-readable schema violations (empty = ok)."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not loadable JSON: {exc}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: missing top-level 'traceEvents' key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' is not a list"]
+    if not events:
+        return [f"{path}: 'traceEvents' is empty"]
+
+    errors: list[str] = []
+    named_pids: set = set()
+    named_tids: set = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(_fail(path, i, "not an object"))
+            continue
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            errors.append(_fail(path, i, f"unexpected phase {ph!r}"))
+            continue
+        if ph == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event.get("pid"))
+            elif event.get("name") == "thread_name":
+                named_tids.add((event.get("pid"), event.get("tid")))
+            continue
+        for key in ("name", "cat", "pid", "tid", "ts", "args"):
+            if key not in event:
+                errors.append(_fail(path, i, f"missing {key!r}"))
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if key == "dur" and ph != "X":
+                continue
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool) or not math.isfinite(value) or value < 0:
+                errors.append(_fail(
+                    path, i, f"{key}={value!r} is not a non-negative "
+                    f"finite number"))
+        if event.get("pid") not in named_pids:
+            errors.append(_fail(
+                path, i, f"pid {event.get('pid')!r} has no prior "
+                f"process_name metadata"))
+        elif (event.get("pid"), event.get("tid")) not in named_tids:
+            errors.append(_fail(
+                path, i, f"tid {event.get('tid')!r} has no prior "
+                f"thread_name metadata"))
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append(_fail(
+                path, i, f"instant scope s={event.get('s')!r}"))
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="trace JSON files")
+    parser.add_argument("--max-errors", type=int, default=20,
+                        help="violations to print before truncating")
+    args = parser.parse_args(argv)
+
+    all_errors: list[str] = []
+    for path in args.traces:
+        errors = validate_trace(path)
+        if not errors:
+            with open(path) as handle:
+                count = len(json.load(handle)["traceEvents"])
+            print(f"{path}: OK ({count} events)")
+        all_errors.extend(errors)
+
+    for line in all_errors[:args.max_errors]:
+        print(f"FAIL {line}", file=sys.stderr)
+    if len(all_errors) > args.max_errors:
+        print(f"... and {len(all_errors) - args.max_errors} more",
+              file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,8 +37,11 @@ Package map:
   memory, inter-cluster DMA arbitration, system barrier, and the
   halo-exchange domain decomposition in :mod:`repro.kernels.partition`
 * :mod:`repro.trace`   -- issue traces (Fig. 1c) and dataflow (Fig. 2)
+* :mod:`repro.obs`     -- opt-in telemetry: spans, metrics, and
+  Perfetto timeline export (``docs/observability.md``)
 """
 
+from repro import obs
 from repro.api import (
     Result,
     Session,
@@ -77,7 +80,7 @@ from repro.sweep import (
 )
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AreaModel",
@@ -117,6 +120,7 @@ __all__ = [
     "j3d27pt",
     "make_point",
     "make_workload",
+    "obs",
     "render_dataflow",
     "render_issue_trace",
     "run_build",

@@ -19,6 +19,7 @@ from repro.core.config import CoreConfig, SystemConfig
 from repro.eval.runner import execute_build, execute_stencil
 from repro.isa.instructions import InstrClass
 from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.obs import spans as _obs
 
 DEFAULT_MAX_CYCLES = 5_000_000
 
@@ -131,6 +132,28 @@ def execute_workload(workload: Workload,
     own default budget (:data:`DEFAULT_SYSTEM_MAX_CYCLES` for
     multi-cluster workloads, :data:`DEFAULT_MAX_CYCLES` otherwise).
     """
+    if not _obs.ENABLED:
+        return _execute_workload(workload, base_cfg, max_cycles, engine,
+                                 require_correct)
+    label = workload.label
+    # The sim-context label groups every simulated-cycle event emitted
+    # below (engine selection, fast-forwards, DMA/barriers) onto this
+    # workload's own timeline track.
+    with _obs.sim_context(label), \
+            _obs.tracer().span("execute", "exec",
+                               args={"workload": label}) as sargs:
+        result = _execute_workload(workload, base_cfg, max_cycles,
+                                   engine, require_correct)
+        sargs["cycles"] = result.cycles
+        sargs["correct"] = result.correct
+        return result
+
+
+def _execute_workload(workload: Workload,
+                      base_cfg: CoreConfig | None,
+                      max_cycles: int | None,
+                      engine: str | None,
+                      require_correct: bool) -> Result:
     if max_cycles is None:
         max_cycles = DEFAULT_SYSTEM_MAX_CYCLES if workload.is_system \
             else DEFAULT_MAX_CYCLES

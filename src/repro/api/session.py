@@ -33,6 +33,8 @@ from repro.api.result import Result
 from repro.api.workloads import Workload
 from repro.core.config import CoreConfig, SystemConfig
 from repro.kernels.build import KernelBuild
+from repro.obs import spans as _obs
+from repro.obs.metrics import METRICS
 from repro.sweep.cache import ResultCache, package_version, point_key
 from repro.sweep.runner import Campaign, SweepRunner
 
@@ -104,22 +106,43 @@ class Session:
             raise TypeError(
                 f"Session.run() takes a Workload or a KernelBuild, "
                 f"got {type(work).__name__}")
+        if not _obs.ENABLED:
+            return self._run_workload(work, require_correct)
+        METRICS.inc("session.runs")
+        with _obs.tracer().span("Session.run", "api",
+                                args={"workload": work.label}) as sargs:
+            return self._run_workload(work, require_correct,
+                                      span_args=sargs)
+
+    def _run_workload(self, work: Workload, require_correct: bool,
+                      span_args: dict | None = None) -> Result:
         key = self.key(work) if self.cache is not None else None
         if key is not None:
             hit = self.cache.get(key)
             if hit is not None:
+                if span_args is not None:
+                    span_args["cache"] = "hit"
+                    METRICS.inc("cache.hit")
                 return hit
         start = time.perf_counter()
         result = execute_workload(work, base_cfg=self.cfg,
                                   max_cycles=self.max_cycles,
                                   engine=self.engine,
                                   require_correct=require_correct)
+        seconds = time.perf_counter() - start
         if key is not None and result.correct:
             # Never cache an incorrect result (possible only with
             # require_correct=False): the key is shared with campaigns
             # that would replay it as an 'ok' outcome.
-            self.cache.put(key, work, result,
-                           time.perf_counter() - start, package_version())
+            self.cache.put(key, work, result, seconds, package_version())
+        if span_args is not None:
+            # Annotate after cache.put so the wall-clock fields never
+            # reach the bit-identity-pinned on-disk records.
+            span_args["cache"] = "miss" if key is not None else "uncached"
+            if key is not None:
+                METRICS.inc("cache.miss")
+            METRICS.observe("sweep.point_seconds", seconds)
+            result.meta.setdefault("obs", {})["wall_seconds"] = seconds
         return result
 
     def map(self, workloads: Iterable[Workload],
@@ -138,7 +161,15 @@ class Session:
             cache=self.cache, workers=self._pool_width(parallel),
             timeout=self.timeout, base_cfg=self.cfg,
             max_cycles=self.max_cycles, engine=self.engine)
-        return runner.run(list(workloads), progress=progress)
+        works = list(workloads)
+        if not _obs.ENABLED:
+            return runner.run(works, progress=progress)
+        with _obs.tracer().span("Session.map", "api",
+                                args={"points": len(works)}) as sargs:
+            campaign = runner.run(works, progress=progress)
+            sargs["cache_hits"] = campaign.cached_count
+            sargs["failed"] = len(campaign.failed)
+            return campaign
 
     # -- helpers -----------------------------------------------------------
 

@@ -29,6 +29,7 @@ import csv
 import json
 import sys
 
+import repro.obs as obs
 from repro.api import (
     RESULT_METRICS,
     RESULT_SCALARS,
@@ -188,6 +189,12 @@ def cmd_trace(args) -> int:
         print()
         print(render_dataflow(trace, chain_reg=3, start_cycle=start,
                               max_slots=args.slots))
+    if args.perfetto:
+        label = f"vecop/{variant.value} n={args.n}"
+        path = obs.write_trace(args.perfetto,
+                               obs.recorder_events(trace, label=label))
+        print(f"\nwrote Perfetto trace ({len(trace.fp_events)} fp + "
+              f"{len(trace.int_events)} int events): {path}")
     return 0
 
 
@@ -239,8 +246,12 @@ def cmd_sweep(args) -> int:
         workers=args.workers, timeout=args.timeout,
         engine=args.engine)
 
+    meter = obs.ProgressMeter(total=len(points)) if args.progress else None
+
     def progress(outcome, done, total):
-        if not args.quiet:
+        if meter is not None:
+            meter.update(outcome, done, total)
+        elif not args.quiet:
             tag = "hit" if outcome.cached else outcome.status
             print(f"[{done:3d}/{total}] {tag:7s} {outcome.point.label}"
                   + (f" ({outcome.seconds:.2f}s)" if not outcome.cached
@@ -248,7 +259,20 @@ def cmd_sweep(args) -> int:
 
     print(f"{title}: {len(points)} points, "
           + ("cache off" if args.no_cache else f"cache {args.cache_dir}"))
-    campaign = session.map(points, progress=progress)
+    tracer = obs.enable(jsonl_dir=args.obs_out, keep_in_memory=False) \
+        if args.obs_out else None
+    try:
+        campaign = session.map(points, progress=progress)
+    finally:
+        if meter is not None:
+            meter.close()
+        if tracer is not None:
+            trace_path = obs.export_dir(args.obs_out, tracer=tracer)
+            obs.disable()
+
+    if tracer is not None:
+        metrics_path = _write_obs_metrics(args.obs_out, campaign)
+        print(f"wrote {trace_path} and {metrics_path}")
 
     print()
     print(format_table(
@@ -283,13 +307,35 @@ def cmd_sweep(args) -> int:
         "title": title,
         "points": len(campaign),
         "cache_hits": hits,
+        "cached_count": campaign.cached_count,
+        "hit_rate": round(campaign.hit_rate, 4),
+        "ok": campaign.ok_count,
+        "errors": campaign.error_count,
+        "timeouts": campaign.timeout_count,
         "failed": failed,
         "seconds": round(campaign.seconds, 3),
+        "summary": campaign.summary(),
         "outcomes": [o.record() for o in campaign],
     })
     if args.csv:
         _write_sweep_csv(args.csv, campaign)
     return 0 if not failed else 1
+
+
+def _write_obs_metrics(obs_dir, campaign):
+    """Dump the campaign summary plus the parent-process metric
+    snapshot next to the merged trace."""
+    from pathlib import Path
+
+    path = Path(obs_dir) / "metrics.json"
+    payload = {
+        "campaign": campaign.summary(),
+        "metrics": obs.METRICS.snapshot(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def _apply_system_axes(args, points):
@@ -443,6 +489,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=16)
     p.add_argument("--loop", default="bne", choices=["bne", "frep"])
     p.add_argument("--slots", type=int, default=24)
+    p.add_argument("--perfetto", metavar="PATH",
+                   help="also write the issue trace as Chrome "
+                        "trace-event JSON (open at ui.perfetto.dev)")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("area", help="area-overhead estimate")
@@ -484,6 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="metric for the baseline comparison")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-point progress lines")
+    p.add_argument("--progress", action="store_true",
+                   help="single-line live meter on stderr (done/total, "
+                        "rate, ETA, cache hit-rate) instead of "
+                        "per-point lines")
+    p.add_argument("--obs-out", metavar="DIR",
+                   help="enable telemetry for the campaign and write "
+                        "DIR/trace.json (Perfetto) + DIR/metrics.json")
     p.add_argument("--json")
     p.add_argument("--csv")
     p.set_defaults(func=cmd_sweep)

@@ -27,6 +27,7 @@ from repro.isa.instructions import InstrClass
 from repro.mem.dma import DmaEngine
 from repro.mem.memory import Allocator, Memory
 from repro.mem.tcdm import Tcdm
+from repro.obs import spans as _obs
 from repro.ssr.config import SsrMode
 
 _INF = 1 << 62
@@ -98,6 +99,9 @@ class Cluster:
         self._fp_qdepth = self.cfg.fp_queue_depth
         #: Idle-cycle fast-forward statistics (scalar-v2 engine).
         self.ff_stats = {"spans": 0, "cycles": 0}
+        #: Track name for this cluster's simulated-cycle obs events;
+        #: a surrounding System renames it per cluster index.
+        self.obs_lane = "cluster"
         # Vectorized FREP/SSR fast path (repro.core.fastpath): attached
         # to core 0, engaged only when the detector proves a hardware
         # loop safe.  Tracing needs every per-issue event, so "auto"
@@ -666,6 +670,11 @@ class Cluster:
         perf.cycles = self.cycle
         self.ff_stats["spans"] += 1
         self.ff_stats["cycles"] += k
+        if _obs.ENABLED:
+            _obs.tracer().sim_span(
+                "fast-forward", "engine", start, self.cycle,
+                lane=self.obs_lane,
+                args={"cycles_skipped": k, "dma_active": dma_active})
         return True
 
     # -- convenience metrics ---------------------------------------------------

@@ -55,6 +55,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import spans as _obs
 from repro.ssr.config import SsrMode
 
 
@@ -192,7 +193,11 @@ class FastPathEngine:
             "applications": 0,
             "fast_forwarded_cycles": 0,
             "fast_forwarded_instrs": 0,
+            "reject_reasons": {},
         }
+        #: Why the most recent region analysis bailed (``None`` while
+        #: the last region was eligible).
+        self.reject_reason: str | None = None
 
     # -- per-cycle hook (end of Cluster.step) --------------------------------
 
@@ -208,11 +213,22 @@ class FastPathEngine:
             if not seq.body_buffered:
                 return
             self.stats["regions_seen"] += 1
+            self.reject_reason = None
             self._plan = self._analyze()
             if self._plan is None:
                 self._state = _REJECTED
+                if _obs.ENABLED:
+                    _obs.tracer().sim_instant(
+                        "fastpath.reject", "engine", self.cluster.cycle,
+                        lane=getattr(self.cluster, "obs_lane", "cluster"),
+                        args={"reason": self.reject_reason})
                 return
             self.stats["regions_eligible"] += 1
+            if _obs.ENABLED:
+                _obs.tracer().sim_instant(
+                    "fastpath.accept", "engine", self.cluster.cycle,
+                    lane=getattr(self.cluster, "obs_lane", "cluster"),
+                    args={"body_len": seq.body_len, "iters": seq.iters})
             self._state = _ARMED
             self._history = {}
         if not self._gate():
@@ -302,6 +318,13 @@ class FastPathEngine:
             return False
         return all(cfg.strides[d] % 8 == 0 for d in range(cfg.ndims))
 
+    def _reject(self, reason: str) -> None:
+        """Record why this region falls back to the scalar path."""
+        self.reject_reason = reason
+        reasons = self.stats["reject_reasons"]
+        reasons[reason] = reasons.get(reason, 0) + 1
+        return None
+
     def _analyze(self) -> _BodyPlan | None:
         from collections import deque
 
@@ -309,7 +332,7 @@ class FastPathEngine:
         seq = fp.sequencer
         chain = fp.chain
         if seq.inner or seq.staggered:
-            return None
+            return self._reject("nested-or-staggered-frep")
 
         body = seq.body_entries()
         slots: list[_SlotPlan] = []
@@ -329,7 +352,7 @@ class FastPathEngine:
             spec = instr.spec
             if entry.sync or spec.rd_domain != "f" \
                     or instr.mnemonic not in _VECTOR_OPS:
-                return None
+                return self._reject("non-vector-op")
             operands = []
             chain_seen: dict[int, tuple] = {}
 
@@ -365,13 +388,13 @@ class FastPathEngine:
             if spec.rs3_domain == "f":
                 operands.append(classify(instr.rs3))
             if any(op is None for op in operands):
-                return None
+                return self._reject("ineligible-operand")
 
             dest = instr.rd
             if self._is_stream(dest):
                 s = fp.streamers[dest]
                 if not self._affine_ok(s, SsrMode.WRITE):
-                    return None
+                    return self._reject("non-affine-write-stream")
                 write_slots.setdefault(dest, []).append(j)
                 dest_desc = ("stream", dest)
             else:
@@ -388,11 +411,11 @@ class FastPathEngine:
         # A chaining push left unmatched would be popped next iteration:
         # a cross-iteration carry the vectorized evaluation cannot model.
         if any(fifo for fifo in chain_fifos.values()):
-            return None
+            return self._reject("cross-iteration-chain-carry")
         # A register read before any write in the same iteration carries
         # the previous iteration's value.
         if any(reg in reg_writers for reg in invariant_reads):
-            return None
+            return self._reject("cross-iteration-register-carry")
 
         # Build per-slot prefix counts (events in slots < k).
         L = len(body)
@@ -441,13 +464,14 @@ class FastPathEngine:
                    for r in read_ppi]
         for i, (wlo, whi) in enumerate(wranges):
             if wlo < 0 or whi >= mem_size:
-                return None  # scalar path must surface the fault
+                # Scalar path must surface the fault.
+                return self._reject("write-stream-out-of-range")
             for rlo, rhi in rranges:
                 if wlo <= rhi and rlo <= whi:
-                    return None
+                    return self._reject("write-stream-alias")
             for wlo2, whi2 in wranges[i + 1:]:
                 if wlo <= whi2 and wlo2 <= whi:
-                    return None
+                    return self._reject("write-stream-alias")
 
         return _BodyPlan(
             slots=slots, slot_of=slot_of, read_ppi=read_ppi,

@@ -27,6 +27,7 @@ from repro.kernels.layout import Grid3d
 from repro.kernels.registry import get_stencil
 from repro.kernels.stencil_codegen import build_stencil
 from repro.kernels.variants import Variant
+from repro.obs import spans as _obs
 
 #: Pre-1.5 name of the unified result type (same class, kept one
 #: release for imports; the ``meta``-carried metric fields it used to
@@ -78,6 +79,18 @@ def execute_build(build: KernelBuild, cfg: CoreConfig | None = None,
 
     meta = dict(build.meta)
     flops, points = _pop_throughput_inputs(build.name, meta)
+    if _obs.ENABLED:
+        from repro.obs.metrics import METRICS, cluster_run_obs
+
+        meta["obs"] = cluster_run_obs(cluster)
+        METRICS.inc("ff.spans", cluster.ff_stats["spans"])
+        METRICS.inc("ff.cycles", cluster.ff_stats["cycles"])
+        if cluster.fastpath is not None:
+            stats = cluster.fastpath.stats
+            METRICS.inc("fastpath.regions", stats["regions_seen"])
+            METRICS.inc("fastpath.eligible", stats["regions_eligible"])
+            METRICS.inc("fastpath.cycles",
+                        stats["fast_forwarded_cycles"])
     return Result(
         name=build.name,
         correct=correct,

@@ -27,6 +27,7 @@ from repro.kernels.layout import Grid3d
 from repro.kernels.partition import build_partitioned_stencil
 from repro.kernels.registry import get_stencil
 from repro.kernels.variants import Variant
+from repro.obs import spans as _obs
 from repro.system import System
 
 #: SystemConfig fields settable through the sweep/CLI system axes
@@ -105,6 +106,14 @@ def execute_system_stencil(kernel: str, variant: Variant,
     # release; ``Result.system`` is authoritative).
     meta.update({k: v for k, v in report.to_dict().items()
                  if k not in ("num_clusters", "iters")})
+    if _obs.ENABLED:
+        from repro.obs.metrics import METRICS, system_run_obs
+
+        meta["obs"] = system_run_obs(system)
+        METRICS.inc("system.runs")
+        METRICS.inc("dma.bytes", system.gmem.bytes_moved)
+        METRICS.inc("dma.contended_cycles",
+                    system.interconnect.contended_cycles)
     return Result(
         name=build.name,
         correct=correct,

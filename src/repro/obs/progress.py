@@ -1,0 +1,62 @@
+"""Live campaign progress rendering for ``repro sweep --progress``.
+
+One updating stderr line in the coverage/ETA idiom::
+
+    [ 12/26]  46%  3.1 pt/s  eta 4.5s  cache 25%  j3d27pt/d16/s1/auto
+
+The meter is a plain ``progress(outcome, done, total)`` callback, so it
+plugs straight into :meth:`repro.sweep.SweepRunner.run` (and
+:meth:`repro.api.Session.map`) without the runner knowing about it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressMeter"]
+
+
+class ProgressMeter:
+    """Renders sweep progress as a single rewriting stderr line."""
+
+    def __init__(self, total: int | None = None, stream=None):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._t0 = time.perf_counter()
+        self._width = 0
+
+    def update(self, outcome, done: int, total: int) -> None:
+        """The ``progress`` callback: one finished point."""
+        self.done = done
+        self.total = total
+        if getattr(outcome, "cached", False):
+            self.cached += 1
+        if getattr(outcome, "status", "ok") != "ok":
+            self.failed += 1
+        elapsed = time.perf_counter() - self._t0
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = (total - done) / rate if rate > 0 else 0.0
+        pct = 100.0 * done / total if total else 100.0
+        hit = 100.0 * self.cached / done if done else 0.0
+        label = getattr(getattr(outcome, "point", None), "label", "")
+        line = (f"[{done:>3}/{total}] {pct:3.0f}%  {rate:5.1f} pt/s"
+                f"  eta {remaining:5.1f}s  cache {hit:3.0f}%")
+        if self.failed:
+            line += f"  failed {self.failed}"
+        if label:
+            line += f"  {label}"
+        pad = max(0, self._width - len(line))
+        self._width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Finish the line so later output starts on a fresh row."""
+        if self._width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._width = 0

@@ -143,6 +143,12 @@ class ResultCache:
             "seconds": seconds,
             "result": result_to_record(result),
         }
+        # Observability payloads (``meta["obs"]``) are opt-in run
+        # annotations; stripping them keeps cached records bit-identical
+        # whether or not the producing run had telemetry enabled.
+        meta = record["result"].get("meta")
+        if isinstance(meta, dict):
+            meta.pop("obs", None)
         self.root.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -37,6 +37,8 @@ from repro.api.parse import parse_engine
 from repro.api.result import Result
 from repro.api.workloads import Workload
 from repro.core.config import CoreConfig
+from repro.obs import spans as _obs
+from repro.obs.metrics import METRICS, campaign_obs
 from repro.sweep.cache import ResultCache, package_version, point_key, \
     result_to_record
 from repro.sweep.spec import SweepSpec
@@ -71,14 +73,20 @@ def _raise_point_timeout(signum, frame):
 def _worker(point: Workload, base_cfg: CoreConfig | None,
             max_cycles: int | None,
             timeout: float | None = None,
-            engine: str | None = None) -> tuple[str, object, float]:
+            engine: str | None = None,
+            obs_dir: str | None = None) -> tuple[str, object, float]:
     """Pool entry point: never raises, always returns a picklable triple.
 
     The timeout alarm only engages on platforms with ``setitimer`` and
     when running on the main thread (always true for pool workers);
     elsewhere points simply run to completion.
+
+    ``obs_dir`` carries the parent's telemetry sink: when set, the
+    worker (re-)enables observability writing its own per-process span
+    segment there and wraps the point in a ``sweep.point`` span.
     """
     start = time.perf_counter()
+    _obs.ensure_worker(obs_dir)
     use_alarm = (timeout is not None and hasattr(signal, "setitimer")
                  and threading.current_thread() is threading.main_thread())
     old_handler = None
@@ -87,8 +95,16 @@ def _worker(point: Workload, base_cfg: CoreConfig | None,
             old_handler = signal.signal(signal.SIGALRM,
                                         _raise_point_timeout)
             signal.setitimer(signal.ITIMER_REAL, max(timeout, 1e-6))
-        result = execute_point(point, base_cfg=base_cfg,
-                               max_cycles=max_cycles, engine=engine)
+        if _obs.ENABLED:
+            with _obs.tracer().span("sweep.point", "sweep",
+                                    args={"point": point.label}) as sargs:
+                result = execute_point(point, base_cfg=base_cfg,
+                                       max_cycles=max_cycles,
+                                       engine=engine)
+                sargs["status"] = "ok"
+        else:
+            result = execute_point(point, base_cfg=base_cfg,
+                                   max_cycles=max_cycles, engine=engine)
         return "ok", result, time.perf_counter() - start
     except _PointTimeout:
         return "timeout", f"exceeded {timeout}s budget", \
@@ -136,6 +152,9 @@ class Campaign:
 
     outcomes: list[Outcome] = field(default_factory=list)
     seconds: float = 0.0
+    #: Aggregated telemetry (``repro.obs.metrics.campaign_obs``); only
+    #: filled when observability was enabled during the run.
+    obs: dict | None = None
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -152,6 +171,18 @@ class Campaign:
         return [o for o in self.outcomes if not o.ok]
 
     @property
+    def ok_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "error")
+
+    @property
+    def timeout_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "timeout")
+
+    @property
     def cached_count(self) -> int:
         return sum(o.cached for o in self.outcomes)
 
@@ -159,6 +190,21 @@ class Campaign:
     def hit_rate(self) -> float:
         return self.cached_count / len(self.outcomes) if self.outcomes \
             else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready campaign roll-up (counts, hit rate, telemetry)."""
+        summary = {
+            "points": len(self.outcomes),
+            "ok": self.ok_count,
+            "errors": self.error_count,
+            "timeouts": self.timeout_count,
+            "cached_count": self.cached_count,
+            "hit_rate": round(self.hit_rate, 4),
+            "seconds": round(self.seconds, 3),
+        }
+        if self.obs is not None:
+            summary["obs"] = self.obs
+        return summary
 
     def results(self) -> dict[Workload, Result]:
         """Workload -> result for every successful outcome."""
@@ -229,6 +275,11 @@ class SweepRunner:
                     outcomes[index] = Outcome(
                         point=point, status="ok", result=cached,
                         cached=True, key=key)
+                    if _obs.ENABLED:
+                        METRICS.inc("cache.hit")
+                        _obs.tracer().instant(
+                            "cache.hit", "sweep",
+                            args={"point": point.label})
                     continue
             pending.append((index, point, key))
 
@@ -249,30 +300,41 @@ class SweepRunner:
                     self.cache.put(outcome.key, outcome.point,
                                    outcome.result, outcome.seconds,
                                    version)
+                if _obs.ENABLED:
+                    if outcome.key is not None:
+                        METRICS.inc("cache.miss")
+                    METRICS.observe("sweep.point_seconds",
+                                    outcome.seconds)
                 done += 1
                 if progress:
                     progress(outcome, done, len(points))
 
         ordered = [outcomes[i] for i in sorted(outcomes)]
-        return Campaign(outcomes=ordered,
-                        seconds=time.perf_counter() - start)
+        campaign = Campaign(outcomes=ordered,
+                            seconds=time.perf_counter() - start)
+        if _obs.ENABLED:
+            campaign.obs = campaign_obs(ordered, campaign.seconds)
+        return campaign
 
     def _run_serial(self, pending):
+        obs_dir = _obs.sink_dir()
         for index, point, key in pending:
             status, payload, seconds = _worker(point, self.base_cfg,
                                                self.max_cycles,
-                                               self.timeout, self.engine)
+                                               self.timeout, self.engine,
+                                               obs_dir)
             yield index, self._outcome(point, key, status, payload, seconds)
 
     def _run_parallel(self, pending):
         import os
         workers = self.workers or os.cpu_count() or 1
         workers = min(workers, len(pending))
+        obs_dir = _obs.sink_dir()
         executor = ProcessPoolExecutor(max_workers=workers)
         futures = [(index, point, key,
                     executor.submit(_worker, point, self.base_cfg,
                                     self.max_cycles, self.timeout,
-                                    self.engine))
+                                    self.engine, obs_dir))
                    for index, point, key in pending]
         abandoned = False
         try:

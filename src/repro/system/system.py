@@ -60,6 +60,7 @@ from repro.core.config import SystemConfig
 from repro.isa.assembler import Program
 from repro.mem.dma import DmaEngine
 from repro.mem.memory import Memory
+from repro.obs import spans as _obs
 
 #: First byte address decoded as global memory (by the DMA engines only).
 GLOBAL_BASE = 0x4000_0000
@@ -171,6 +172,12 @@ class ClusterDma(DmaEngine):
         self.gmem_bytes_moved = 0
         self._latency_tx = None
         self._latency_left = 0
+        # Observability backrefs, filled in by System.__init__: the
+        # owning cluster supplies the simulated clock and track name
+        # for per-transfer DMA events.
+        self._obs_cluster: "Cluster | None" = None
+        self._obs_lane = "cluster"
+        self._obs_tx_start = 0
 
     @staticmethod
     def _touches_gmem(tx) -> bool:
@@ -204,6 +211,8 @@ class ClusterDma(DmaEngine):
             self._latency_tx = tx
             self._latency_left = max(1, self.gmem.latency) \
                 if self._touches_gmem(tx) else 0
+            if _obs.ENABLED and self._obs_cluster is not None:
+                self._obs_tx_start = self._obs_cluster.cycle
         if self._latency_left:
             self._latency_left -= 1
             self.gmem.transfer_latency_cycles += 1
@@ -229,6 +238,14 @@ class ClusterDma(DmaEngine):
             if tx.moved >= tx.total_bytes:
                 self._queue.popleft()
                 self.transfers_completed += 1
+                if _obs.ENABLED and self._obs_cluster is not None:
+                    end = max(self._obs_cluster.cycle,
+                              self._obs_tx_start)
+                    _obs.tracer().sim_span(
+                        "dma", "system", self._obs_tx_start, end,
+                        lane=self._obs_lane,
+                        args={"bytes": tx.total_bytes,
+                              "gmem": uses_gmem})
                 break  # turnaround: the next transfer starts next cycle
 
     # -- address decoding ---------------------------------------------------
@@ -280,12 +297,15 @@ class System:
         self.gmem = GlobalMemory(self.cfg)
         self.interconnect = Interconnect(self.cfg)
         self.clusters: list[Cluster] = []
-        for program in programs:
+        for index, program in enumerate(programs):
             cluster = Cluster(program, cfg=self.cfg.core, symbols=symbols)
+            cluster.obs_lane = f"cluster{index}"
             # Swap the cluster-local DMA engine for the system-aware one;
             # the cores read ``self.dma`` at execution time, so the swap
             # is complete before the first cycle.
             dma = ClusterDma(cluster.mem, self.gmem, self.cfg)
+            dma._obs_cluster = cluster
+            dma._obs_lane = cluster.obs_lane
             cluster.dma = dma
             for core in cluster.cores:
                 core.dma = dma
@@ -371,6 +391,23 @@ class System:
 
     def run(self, max_cycles: int = 20_000_000) -> "System":
         """Run every cluster to completion (min-cycle scheduling)."""
+        if not _obs.ENABLED:
+            return self._run(max_cycles)
+        tr = _obs.tracer()
+        with tr.span("System.run", "system",
+                     args={"num_clusters": len(self.clusters)}) as sargs:
+            self._run(max_cycles)
+            sargs["cycles"] = self.cycle
+            sargs["sys_barriers"] = self.sys_barriers
+        # One slice per cluster on the simulated timeline, so the
+        # Perfetto view shows where each cluster's clock ended up.
+        for cluster in self.clusters:
+            tr.sim_span("cluster.run", "system", 0, cluster.cycle,
+                        lane=cluster.obs_lane,
+                        args={"cycles": cluster.cycle})
+        return self
+
+    def _run(self, max_cycles: int) -> "System":
         clusters = self.clusters
         single = len(clusters) == 1
         quiet = 0
@@ -431,12 +468,25 @@ class System:
         parked = [cl for cl in self.clusters
                   if any(c.sys_barrier_wait for c in cl.cores)]
         tmax = max(cl.cycle for cl in parked)
+        arrived_at = [cl.cycle for cl in parked]
         for cluster in parked:
             self._advance_parked(cluster, tmax)
         for core in waiting:
             core.sys_barrier_wait = False
             core.barrier_wait = False
         self.sys_barriers += 1
+        if _obs.ENABLED:
+            tr = _obs.tracer()
+            for cluster, arrived in zip(parked, arrived_at):
+                if tmax > arrived:
+                    tr.sim_span("barrier.wait", "system", arrived, tmax,
+                                lane=cluster.obs_lane,
+                                args={"barrier": self.sys_barriers,
+                                      "wait_cycles": tmax - arrived})
+            tr.sim_instant("barrier.open", "system", tmax,
+                           lane="system",
+                           args={"barrier": self.sys_barriers,
+                                 "clusters": len(parked)})
 
     def _advance_parked(self, cluster: Cluster, target: int) -> None:
         """Burn a parked cluster's clock up to ``target`` cycles."""

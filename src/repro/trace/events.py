@@ -8,6 +8,7 @@ each FP event, which is what the Fig. 2-style dataflow rendering shows.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.isa.instructions import Instr
@@ -54,4 +55,15 @@ class TraceRecorder:
         self.int_events.append(IntIssueEvent(cycle, str(instr), dispatched))
 
     def fp_events_between(self, start: int, end: int) -> list[FpIssueEvent]:
-        return [e for e in self.fp_events if start <= e.cycle < end]
+        return _events_between(self.fp_events, start, end)
+
+    def int_events_between(self, start: int, end: int) -> list[IntIssueEvent]:
+        return _events_between(self.int_events, start, end)
+
+
+def _events_between(events, start: int, end: int):
+    # Events are appended in issue order, so cycles are non-decreasing
+    # and the window is a contiguous slice.
+    lo = bisect_left(events, start, key=lambda e: e.cycle)
+    hi = bisect_left(events, end, lo=lo, key=lambda e: e.cycle)
+    return events[lo:hi]

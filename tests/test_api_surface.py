@@ -49,6 +49,7 @@ REPRO_ALL = [
     "j3d27pt",
     "make_point",
     "make_workload",
+    "obs",
     "render_dataflow",
     "render_issue_trace",
     "run_build",

@@ -196,3 +196,63 @@ def test_sweep_baseline_is_case_insensitive(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "vs. baseline 'Base'" in out  # normalized, not dropped
+
+
+def test_sweep_json_surfaces_campaign_summary(tmp_path):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(SWEEP_SPEC))
+    out_json = tmp_path / "out.json"
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
+                 "--workers", "0", "--json", str(out_json)]) == 0
+    assert main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
+                 "--workers", "0", "--json", str(out_json)]) == 0
+    data = json.loads(out_json.read_text())
+    assert data["cached_count"] == 4
+    assert data["hit_rate"] == 1.0
+    assert data["ok"] == 4
+    assert data["errors"] == 0 and data["timeouts"] == 0
+    assert data["summary"]["points"] == 4
+    assert data["summary"]["hit_rate"] == 1.0
+
+
+def test_sweep_progress_meter(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(SWEEP_SPEC))
+    assert main(["sweep", "--spec", str(spec), "--no-cache",
+                 "--workers", "0", "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "[  4/4] 100%" in captured.err
+    assert "eta" in captured.err and "cache" in captured.err
+    assert "[  1/4]" not in captured.out  # per-point lines replaced
+
+
+def test_sweep_obs_out_exports_trace_and_metrics(tmp_path, capsys):
+    from repro import obs
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(SWEEP_SPEC))
+    obs_dir = tmp_path / "obs"
+    assert main(["sweep", "--spec", str(spec), "--no-cache",
+                 "--workers", "0", "--quiet",
+                 "--obs-out", str(obs_dir)]) == 0
+    assert not obs.is_enabled()  # CLI tears telemetry down afterwards
+    out = capsys.readouterr().out
+    assert "trace.json" in out and "metrics.json" in out
+    doc = json.loads((obs_dir / "trace.json").read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] != "M"}
+    assert {"Session.map", "sweep.point", "execute"} <= names
+    metrics = json.loads((obs_dir / "metrics.json").read_text())
+    assert metrics["campaign"]["points"] == 4
+    assert "counters" in metrics["metrics"]
+
+
+def test_trace_perfetto_export(tmp_path, capsys):
+    path = tmp_path / "issue.json"
+    assert main(["trace", "--variant", "chaining", "--n", "8",
+                 "--perfetto", str(path)]) == 0
+    assert "wrote Perfetto trace" in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] != "M"}
+    assert any(c.startswith("fp.") for c in cats)
+    assert any(c.startswith("int.") for c in cats)

@@ -74,3 +74,50 @@ def test_empty_trace_handled():
     trace = TraceRecorder()
     assert "no FP issue events" in render_issue_trace(trace)
     assert "no FP issue events" in render_dataflow(trace)
+
+
+def test_int_events_between():
+    cluster, trace = run_traced_vecop()
+    start = cluster.perf.marks[MARK_START].cycle
+    window = trace.int_events_between(start, start + 10)
+    assert all(start <= e.cycle < start + 10 for e in window)
+
+
+def test_events_between_matches_linear_scan():
+    """The bisect windows must agree with a naive filter everywhere."""
+    cluster, trace = run_traced_vecop(loop_mode="frep", n=32)
+    last = trace.fp_events[-1].cycle
+    windows = [(0, last + 1), (last // 2, last), (7, 7),
+               (last + 5, last + 9), (0, 0)]
+    for lo, hi in windows:
+        assert trace.fp_events_between(lo, hi) == [
+            e for e in trace.fp_events if lo <= e.cycle < hi]
+        assert trace.int_events_between(lo, hi) == [
+            e for e in trace.int_events if lo <= e.cycle < hi]
+
+
+def test_events_between_empty_recorder():
+    trace = TraceRecorder()
+    assert trace.fp_events_between(0, 100) == []
+    assert trace.int_events_between(0, 100) == []
+
+
+def test_issue_trace_int_column_alignment():
+    """The int column anchors at column 34 whenever the FP text fits."""
+    _, trace = run_traced_vecop()
+    text = render_issue_trace(trace, show_int=True, max_slots=60)
+    columns = [line.index("| int:") for line in text.splitlines()
+               if "| int:" in line]
+    assert columns
+    assert all(col >= 34 for col in columns)
+    for line in text.splitlines():
+        if "| int:" in line and len(line.split("| int:")[0].rstrip()) < 33:
+            assert line.index("| int:") == 34
+
+
+def test_issue_trace_show_int_without_int_events():
+    _, traced = run_traced_vecop()
+    fp_only = TraceRecorder(fp_events=traced.fp_events)
+    text = render_issue_trace(fp_only, show_int=True, max_slots=60)
+    assert "| int:" not in text
+    assert "fmul" in text or "fadd" in text
