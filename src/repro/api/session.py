@@ -14,7 +14,12 @@ width, per-point timeout, engine selection -- and exposes:
   ``SystemConfig`` a workload would run under (the single-cluster or
   :mod:`repro.system` backend is picked automatically);
 * :meth:`Session.key` -- the workload's content-address in the result
-  cache (identical to the pre-1.5 sweep ``point_key``).
+  cache (identical to the pre-1.5 sweep ``point_key``);
+* :meth:`Session.audit` / :meth:`Session.backfill` -- campaign
+  completeness against the session's result store: classify every
+  point (ok / missing / error / timeout / stale-version /
+  stale-schema) and re-run exactly the gaps
+  (:mod:`repro.sweep.audit`).
 """
 
 from __future__ import annotations
@@ -35,6 +40,12 @@ from repro.core.config import CoreConfig, SystemConfig
 from repro.kernels.build import KernelBuild
 from repro.obs import spans as _obs
 from repro.obs.metrics import METRICS
+from repro.sweep.audit import (
+    DEFAULT_RETRY_BUDGET,
+    BackfillPlan,
+    CampaignAudit,
+    audit_campaign,
+)
 from repro.sweep.cache import ResultCache, package_version, point_key
 from repro.sweep.runner import Campaign, SweepRunner
 
@@ -170,6 +181,36 @@ class Session:
             sargs["cache_hits"] = campaign.cached_count
             sargs["failed"] = len(campaign.failed)
             return campaign
+
+    # -- campaign completeness ---------------------------------------------
+
+    def audit(self, spec_or_points, name: str | None = None,
+              ) -> CampaignAudit:
+        """Diff a campaign (spec or workload list) against the
+        session's result store: classify every point, report coverage
+        and gaps (:class:`~repro.sweep.audit.CampaignAudit`).  The
+        session's base config and engine are the audit context --
+        exactly the cache-key ingredients :meth:`map` would use."""
+        if self.cache is None:
+            raise ValueError(
+                "Session.audit requires a result cache; construct the "
+                "session with cache=<dir>")
+        return audit_campaign(spec_or_points, self.cache,
+                              base_cfg=self.cfg, engine=self.engine,
+                              name=name)
+
+    def backfill(self, audit_or_spec,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 progress: Callable | None = None,
+                 ) -> tuple[BackfillPlan, Campaign]:
+        """Plan and execute the gaps of an audit (or of a spec, which
+        is audited first): stale points re-key automatically, failed
+        points retry within ``retry_budget`` cumulative attempts.
+        Returns ``(plan, campaign)`` -- re-audit to confirm coverage."""
+        audit = audit_or_spec if isinstance(audit_or_spec, CampaignAudit) \
+            else self.audit(audit_or_spec)
+        plan = BackfillPlan(audit, retry_budget=retry_budget)
+        return plan, plan.execute(self, progress=progress)
 
     # -- helpers -----------------------------------------------------------
 

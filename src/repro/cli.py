@@ -10,6 +10,10 @@ Commands map one-to-one onto the paper's artifacts:
 * ``area``   -- the area-overhead estimate;
 * ``sweep``  -- run an experiment campaign (preset or spec file) through
   the parallel, cached sweep engine;
+* ``audit``  -- diff a campaign against the result store: coverage
+  tables, gap classification (missing/error/timeout/stale), an
+  executable backfill plan (``--backfill``/``--dry-run``), and store
+  maintenance (``--verify-store``, ``--migrate-store``);
 * ``profile`` -- run one kernel/variant under cProfile and print the
   top-N hotspot tables (cumulative + tottime), so perf work starts
   from data;
@@ -54,12 +58,16 @@ from repro.kernels.registry import kernel_names
 from repro.kernels.variants import VARIANT_ORDER
 from repro.kernels.vecop import VecopVariant, build_vecop
 from repro.sweep import (
+    AUDIT_AXES,
     PRESETS,
+    BackfillPlan,
+    ResultCache,
     SweepSpec,
     preset_points,
     speedup_vs_baseline,
     summary_rows,
 )
+from repro.sweep.audit import DEFAULT_RETRY_BUDGET
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
 #: stdout rounding of ``repro run`` (the pre-1.5 display precision).
@@ -211,9 +219,32 @@ def cmd_area(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def _campaign_points(args, what: str) -> tuple[str, str, list]:
+    """Resolve ``--preset``/``--spec`` into ``(name, title, points)``
+    (shared by ``sweep`` and ``audit``)."""
     if bool(args.preset) == bool(args.spec):
         raise SystemExit("pass exactly one of --preset or --spec")
+    if args.preset:
+        try:
+            description, points = preset_points(args.preset)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        name = args.preset
+        title = f"{what} preset {args.preset!r} ({description})"
+    else:
+        try:
+            spec = SweepSpec.from_file(args.spec)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"bad spec {args.spec}: {exc}") from None
+        points = spec.points()
+        name = spec.name
+        title = f"{what} {spec.name!r} from {args.spec}"
+    if not points:
+        raise SystemExit("spec expands to zero points")
+    return name, title, points
+
+
+def cmd_sweep(args) -> int:
     if args.metric not in RESULT_METRICS:
         raise SystemExit(
             f"unknown metric {args.metric!r}; choose from: "
@@ -224,21 +255,7 @@ def cmd_sweep(args) -> int:
             baseline = normalize_variant(args.baseline)
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
-    if args.preset:
-        try:
-            description, points = preset_points(args.preset)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from None
-        title = f"sweep preset {args.preset!r} ({description})"
-    else:
-        try:
-            spec = SweepSpec.from_file(args.spec)
-        except (OSError, ValueError, KeyError) as exc:
-            raise SystemExit(f"bad spec {args.spec}: {exc}") from None
-        points = spec.points()
-        title = f"sweep {spec.name!r} from {args.spec}"
-    if not points:
-        raise SystemExit("spec expands to zero points")
+    _, title, points = _campaign_points(args, "sweep")
     points = _apply_system_axes(args, points)
 
     session = Session(
@@ -399,6 +416,138 @@ def _write_sweep_csv(path: str, campaign) -> None:
             ])
 
 
+#: Columns of the ``repro audit --csv`` per-point classification.
+AUDIT_CSV_HEADER = ("label", "kernel", "variant", "engine",
+                    "num_clusters", "key", "status", "detail", "attempts")
+
+
+def _write_audit_csv(path: str, audit) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(AUDIT_CSV_HEADER)
+        for entry in audit:
+            point = entry.point
+            writer.writerow([
+                point.label, point.kernel, point.variant,
+                point.engine or audit.engine, point.num_clusters,
+                entry.key, entry.status, entry.detail or "",
+                entry.attempts,
+            ])
+
+
+def _print_audit(title: str, audit, quiet: bool) -> None:
+    print(f"{title}: {audit.total} points, coverage "
+          f"{100.0 * audit.coverage:.1f}% ({audit.ok_count} ok)")
+    gap_counts = ", ".join(f"{cls} {n}" for cls, n in
+                           audit.counts().items()
+                           if cls != "ok" and n)
+    if gap_counts:
+        print(f"gaps: {gap_counts}")
+    if audit.corrupt_lines:
+        print(f"corrupt store lines skipped: {audit.corrupt_lines} "
+              f"(see --verify-store)")
+    print()
+    rows = [[axis, value, row["ok"], row["total"],
+             f"{100.0 * row['coverage']:.1f}%"]
+            for axis in AUDIT_AXES
+            for value, row in audit.by_axis(axis).items()]
+    print(format_table(["axis", "value", "ok", "total", "coverage"],
+                       rows, title="coverage by axis"))
+    if audit.gaps and not quiet:
+        print()
+        shown = audit.gaps[:25]
+        for entry in shown:
+            extra = f" [{entry.detail}]" if entry.detail else ""
+            attempt = f" attempts={entry.attempts}" if entry.attempts \
+                else ""
+            print(f"  {entry.status:14s} {entry.point.label}"
+                  f"{attempt}{extra}")
+        if len(audit.gaps) > len(shown):
+            print(f"  ... {len(audit.gaps) - len(shown)} more "
+                  f"(--json/--csv for the full gap report)")
+
+
+def _print_verify(cache_dir: str, report: dict) -> None:
+    print(f"store {cache_dir}: {report['records']} record(s) in "
+          f"{report['files']} file(s), {report['failure_records']} "
+          f"failure record(s)")
+    for bucket in ("corrupt", "invalid", "conflicts", "orphans",
+                   "duplicates"):
+        entries = report[bucket]
+        if entries:
+            print(f"  {bucket}: {len(entries)}")
+            for entry in entries[:10]:
+                print(f"    {entry}")
+    print("store integrity: " + ("ok" if report["ok"] else "FAILED"))
+
+
+def cmd_audit(args) -> int:
+    store_only = (args.verify_store or args.migrate_store) and \
+        not (args.preset or args.spec)
+    cache = ResultCache(args.cache_dir)
+    store_ok = True
+
+    if args.migrate_store:
+        stats = cache.migrate()
+        print(f"migrated {stats['migrated']} record(s) into "
+              f"{stats['shards']} shard file(s) under "
+              f"{cache.shards_dir} (one-way)")
+        if stats["corrupt_lines"]:
+            print(f"warning: {stats['corrupt_lines']} malformed "
+                  f"line(s) skipped, not migrated")
+
+    verify_report = None
+    if args.verify_store:
+        verify_report = cache.verify()
+        _print_verify(args.cache_dir, verify_report)
+        store_ok = verify_report["ok"]
+
+    if store_only:
+        _maybe_write_json(args.json, {"verify": verify_report})
+        return 0 if store_ok else 1
+
+    name, title, points = _campaign_points(args, "audit")
+    session = Session(cache=cache, workers=args.workers,
+                      timeout=args.timeout, engine=args.engine)
+    audit = session.audit(points, name=name)
+    _print_audit(title, audit, args.quiet)
+
+    payload = audit.to_dict()
+    if verify_report is not None:
+        payload["verify"] = verify_report
+    exit_ok = audit.complete and store_ok
+
+    if args.backfill or args.dry_run:
+        plan = BackfillPlan(audit, retry_budget=args.retry_budget)
+        payload["backfill"] = plan.to_dict()
+        if args.dry_run:
+            print()
+            print(plan.describe())
+        else:
+            def progress(outcome, done, total):
+                if not args.quiet:
+                    tag = "hit" if outcome.cached else outcome.status
+                    print(f"[{done:3d}/{total}] {tag:7s} "
+                          f"{outcome.point.label}")
+
+            print(f"\nbackfilling {len(plan)} point(s) "
+                  f"({len(plan.abandoned)} abandoned, retry budget "
+                  f"{plan.retry_budget})")
+            campaign = plan.execute(session, progress=progress)
+            payload["backfill"]["executed"] = campaign.summary()
+            post = session.audit(points, name=name)
+            payload["post"] = post.to_dict()
+            print(f"\nafter backfill: coverage "
+                  f"{100.0 * post.coverage:.1f}% "
+                  f"({post.ok_count}/{post.total} ok)")
+            exit_ok = post.complete and not plan.abandoned and store_ok
+
+    _maybe_write_json(args.json, payload)
+    if args.csv:
+        _write_audit_csv(args.csv, audit)
+    return 0 if exit_ok else 1
+
+
 def cmd_profile(args) -> int:
     """Run one kernel/variant under cProfile and print hotspot tables."""
     import cProfile
@@ -543,6 +692,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json")
     p.add_argument("--csv")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("audit",
+                       help="campaign coverage, gap report and backfill "
+                            "against the result store")
+    p.add_argument("--preset", help="named campaign: "
+                   + ", ".join(sorted(PRESETS)))
+    p.add_argument("--spec", help="JSON/TOML sweep spec file")
+    p.add_argument("--cache-dir", default=".sweep-cache",
+                   help="result store to audit (default .sweep-cache)")
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="campaign engine context (cache-key ingredient; "
+                        "must match the sweep being audited)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process count for --backfill execution")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock budget for --backfill")
+    p.add_argument("--backfill", action="store_true",
+                   help="execute the plan: simulate exactly the gaps "
+                        "(missing, stale re-keys, budgeted retries)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the backfill plan without executing")
+    p.add_argument("--retry-budget", type=int,
+                   default=DEFAULT_RETRY_BUDGET,
+                   help="max cumulative attempts for failed points "
+                        f"(default {DEFAULT_RETRY_BUDGET})")
+    p.add_argument("--verify-store", action="store_true",
+                   help="re-parse every store record against the result "
+                        "schema; report corrupt/duplicate/orphan lines")
+    p.add_argument("--migrate-store", action="store_true",
+                   help="move flat results.jsonl records into the "
+                        "sharded layout (one-way)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-gap and per-point lines")
+    p.add_argument("--json")
+    p.add_argument("--csv")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("profile",
                        help="cProfile one kernel/variant, print hotspots")

@@ -33,6 +33,15 @@ from repro.sweep.aggregate import (
     speedup_vs_baseline,
     summary_rows,
 )
+from repro.sweep.audit import (
+    AUDIT_AXES,
+    AUDIT_SCHEMA,
+    GAP_CLASSES,
+    BackfillPlan,
+    CampaignAudit,
+    PointAudit,
+    audit_campaign,
+)
 from repro.sweep.cache import ResultCache, point_key, result_from_record, \
     result_to_record
 from repro.sweep.presets import PRESETS, preset_points
@@ -54,9 +63,15 @@ from repro.sweep.spec import (
 make_point = make_workload
 
 __all__ = [
+    "AUDIT_AXES",
+    "AUDIT_SCHEMA",
+    "BackfillPlan",
     "Campaign",
+    "CampaignAudit",
+    "GAP_CLASSES",
     "Outcome",
     "PRESETS",
+    "PointAudit",
     "RESULT_METRICS",
     "ResultCache",
     "SweepRunner",
@@ -64,6 +79,7 @@ __all__ = [
     "VECOP_KERNEL",
     "Workload",
     "apply_overrides",
+    "audit_campaign",
     "best_points",
     "by_kernel_variant",
     "execute_point",

@@ -1,38 +1,67 @@
 """Content-addressed on-disk cache for sweep results.
 
-Layout: one directory holding
+Layout (one directory per store):
 
-* ``results.jsonl`` -- append-only, one JSON record per completed point:
+* ``shards/<pp>.jsonl`` -- the **sharded** result store, where ``<pp>``
+  is the first :data:`SHARD_PREFIX_LEN` hex characters of the record's
+  content-address.  Append-only, one JSON record per completed point:
   ``{"key", "version", "point", "seconds", "result"}``, where
   ``result`` is the one canonical schema of
-  :meth:`repro.api.result.Result.to_dict`;
-* nothing else -- the key is content-derived, so the file needs no
-  compaction and concurrent *readers* are always safe.  Appends come
-  from one process at a time: a campaign's :class:`SweepRunner` parent
-  (workers return results to it) or a :meth:`repro.api.Session.run`
-  call.  Two *simultaneous* writer processes on one cache directory
-  are not coordinated -- an interleaved line would be dropped as torn
-  on the next load.
+  :meth:`repro.api.result.Result.to_dict`.  Each append is a single
+  ``write`` of one line to a file opened in append mode, so cooperating
+  writer processes -- a campaign parent per host -- interleave at line
+  granularity without any lock file; the key is content-derived, so
+  a record duplicated by two racing hosts is benign (same payload,
+  last one wins on load) and :meth:`verify` can prove it.
+* ``results.jsonl`` -- the pre-1.7 **flat** store.  Still read (and,
+  for stores that already have one and no ``shards/``, still written)
+  so existing caches keep working untouched; :meth:`migrate` moves the
+  records into shards one way.
+* ``failures.jsonl`` -- the most recent *failed* outcome per key
+  (``status`` ``"error"``/``"timeout"``, the message, and a cumulative
+  ``attempts`` counter).  Failures are never served as results --
+  errors and timeouts are retried on the next campaign exactly as
+  before -- but recording them makes a campaign auditable from the
+  store alone (:mod:`repro.sweep.audit` classifies and budgets
+  retries from this file).
 
 The key is the SHA-256 of the canonicalized point, the package
 ``__version__``, and the canonicalized base config (when one is in
 effect), so a version bump or a changed baseline configuration
-invalidates every entry without any explicit flush.  Only successful
-runs are cached; errors and timeouts are retried on the next campaign.
+invalidates every entry without any explicit flush.
+
+Malformed lines (torn tail from a killed run, or bit rot) are *counted*
+on load -- :attr:`ResultCache.corrupt_lines`, warned about once -- so
+an audit can surface them instead of the store silently pretending the
+record never existed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import fields as dataclass_fields
 from pathlib import Path
+from typing import Iterator
 
 from repro.api.result import Result
 from repro.api.workloads import Workload
 from repro.core.config import CoreConfig
 
 RESULTS_FILE = "results.jsonl"
+FAILURES_FILE = "failures.jsonl"
+SHARDS_DIR = "shards"
+
+#: Hex characters of the key that name a record's shard file (2 -> up
+#: to 256 shards, plenty of append parallelism for cooperating hosts
+#: while keeping directory listings small).
+SHARD_PREFIX_LEN = 2
+
+#: Store layouts accepted by :class:`ResultCache`.  ``auto`` keeps an
+#: existing flat store flat (until :meth:`ResultCache.migrate`) and
+#: shards everything else, including brand-new stores.
+LAYOUTS = ("auto", "flat", "sharded")
 
 
 def package_version() -> str:
@@ -90,7 +119,12 @@ def result_from_record(record: dict) -> Result:
 
 
 class ResultCache:
-    """Keyed JSONL store; loads its index once, appends as results land."""
+    """Keyed JSONL store; loads its index once, appends as results land.
+
+    ``layout`` picks where appends go (see :data:`LAYOUTS`); *loads*
+    always read both the flat file and the shards, so a half-migrated
+    or mixed-era store never loses records.
+    """
 
     @classmethod
     def coerce(cls, cache: "ResultCache | str | Path | None"):
@@ -105,21 +139,73 @@ class ResultCache:
             f"cache must be a ResultCache, a path, or None, got "
             f"{type(cache).__name__}")
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, layout: str = "auto"):
+        if layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown cache layout {layout!r}; choose from: "
+                f"{', '.join(LAYOUTS)}")
         self.root = Path(root)
         self.path = self.root / RESULTS_FILE
+        self.shards_dir = self.root / SHARDS_DIR
+        self.failures_path = self.root / FAILURES_FILE
+        if layout == "auto":
+            # An existing flat store (and no shards yet) stays flat
+            # until migrated; everything else -- including a brand-new
+            # store -- shards.
+            layout = "flat" if (self.path.exists()
+                                and not self.shards_dir.is_dir()) \
+                else "sharded"
+        self.layout = layout
+        #: Malformed JSONL lines skipped while loading (torn tail from
+        #: a killed run, bit rot); surfaced by audits.
+        self.corrupt_lines = 0
         self._index: dict[str, dict] = {}
+        self._failures: dict[str, dict] = {}
+        self._load()
+
+    # -- loading ----------------------------------------------------------
+
+    def _record_files(self) -> list[Path]:
+        """Every result file of the store, flat first (shards are the
+        newer layout, so on a duplicated key the sharded record wins)."""
+        files = []
         if self.path.exists():
-            with open(self.path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn final line from a killed run
-                    self._index[record["key"]] = record
+            files.append(self.path)
+        if self.shards_dir.is_dir():
+            files.extend(sorted(self.shards_dir.glob("*.jsonl")))
+        return files
+
+    def _load(self) -> None:
+        for path in self._record_files():
+            for record in self._parse_lines(path):
+                self._index[record["key"]] = record
+        if self.failures_path.exists():
+            for record in self._parse_lines(self.failures_path):
+                self._failures[record["key"]] = record
+        if self.corrupt_lines:
+            warnings.warn(
+                f"result cache {self.root}: skipped "
+                f"{self.corrupt_lines} malformed JSONL line(s); run "
+                f"`repro audit --verify-store` for a full report",
+                stacklevel=2)
+
+    def _parse_lines(self, path: Path) -> Iterator[dict]:
+        """Yield well-formed records of one JSONL file, counting (not
+        silently dropping) every malformed line."""
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    record["key"]
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    self.corrupt_lines += 1
+                    continue
+                yield record
+
+    # -- lookups ----------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._index)
@@ -133,6 +219,31 @@ class ResultCache:
 
     def get_record(self, key: str) -> dict | None:
         return self._index.get(key)
+
+    def records(self) -> Iterator[dict]:
+        """Every loaded result record (the audit walks these to match
+        stale entries by canonical point)."""
+        return iter(self._index.values())
+
+    def get_failure(self, key: str) -> dict | None:
+        """Most recent failure record for ``key`` (``None`` if the key
+        never failed, or succeeded since)."""
+        if key in self._index:
+            return None
+        return self._failures.get(key)
+
+    # -- writes -----------------------------------------------------------
+
+    def _shard_path(self, key: str) -> Path:
+        return self.shards_dir / f"{key[:SHARD_PREFIX_LEN]}.jsonl"
+
+    def _append(self, path: Path, record: dict) -> None:
+        # One write() of one whole line: appends from cooperating
+        # processes interleave at line granularity on local filesystems.
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(path, "a") as handle:
+            handle.write(line)
 
     def put(self, key: str, point: Workload, result: Result,
             seconds: float, version: str) -> None:
@@ -149,7 +260,131 @@ class ResultCache:
         meta = record["result"].get("meta")
         if isinstance(meta, dict):
             meta.pop("obs", None)
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        target = self.path if self.layout == "flat" \
+            else self._shard_path(key)
+        self._append(target, record)
         self._index[key] = record
+        self._failures.pop(key, None)
+
+    def put_failure(self, key: str, point: Workload, status: str,
+                    error: str | None, seconds: float,
+                    version: str) -> None:
+        """Record a failed outcome (``"error"``/``"timeout"``) so audits
+        can classify and retry-budget it from the store alone.  The
+        ``attempts`` counter accumulates across campaigns; a later
+        success supersedes the failure entirely."""
+        previous = self._failures.get(key)
+        record = {
+            "key": key,
+            "version": version,
+            "point": point.canonical(),
+            "status": status,
+            "error": (error or "")[:2000],  # keep the store line-sized
+            "seconds": seconds,
+            "attempts": (previous["attempts"] if previous else 0) + 1,
+        }
+        self._append(self.failures_path, record)
+        self._failures[key] = record
+
+    # -- maintenance ------------------------------------------------------
+
+    def migrate(self) -> dict:
+        """Move every flat-file record into the sharded layout (one
+        way).  Idempotent: a store without a flat file is a no-op.
+
+        Returns ``{"migrated", "shards", "corrupt_lines"}``.  The flat
+        file is deleted only after every record has been re-appended to
+        its shard, so a crash mid-migration at worst duplicates records
+        (benign: identical payloads under identical keys).
+        """
+        if not self.path.exists():
+            return {"migrated": 0,
+                    "shards": len(list(self.shards_dir.glob("*.jsonl")))
+                    if self.shards_dir.is_dir() else 0,
+                    "corrupt_lines": 0}
+        migrated = 0
+        corrupt_before = self.corrupt_lines
+        for record in self._parse_lines(self.path):
+            self._append(self._shard_path(record["key"]), record)
+            self._index[record["key"]] = record
+            migrated += 1
+        self.path.unlink()
+        self.layout = "sharded"
+        return {"migrated": migrated,
+                "shards": len(list(self.shards_dir.glob("*.jsonl"))),
+                "corrupt_lines": self.corrupt_lines - corrupt_before}
+
+    def verify(self) -> dict:
+        """Re-parse every record file against the result schema.
+
+        Returns a report::
+
+            {"files", "records", "corrupt": [...], "invalid": [...],
+             "duplicates": [...], "conflicts": [...], "orphans": [...],
+             "failure_records", "ok": bool}
+
+        * **corrupt** -- lines that are not JSON (file, line number);
+        * **invalid** -- records whose ``result`` payload does not parse
+          as the canonical :class:`~repro.api.result.Result` schema;
+        * **duplicates** -- keys appearing more than once with
+          *identical* payloads (benign: racing cooperating writers);
+        * **conflicts** -- keys appearing more than once with
+          *differing* payloads (a real integrity violation);
+        * **orphans** -- records filed in a shard whose name does not
+          match their key prefix (a mis-filed append).
+
+        ``ok`` is true when nothing but benign duplicates was found.
+        """
+        seen: dict[str, str] = {}
+        report: dict = {"files": 0, "records": 0, "corrupt": [],
+                        "invalid": [], "duplicates": [], "conflicts": [],
+                        "orphans": [], "failure_records": 0}
+        for path in self._record_files():
+            report["files"] += 1
+            in_shard = path.parent == self.shards_dir
+            with open(path) as handle:
+                for lineno, line in enumerate(handle, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    where = {"file": str(path.relative_to(self.root)),
+                             "line": lineno}
+                    try:
+                        record = json.loads(line)
+                        key = record["key"]
+                    except (json.JSONDecodeError, TypeError, KeyError):
+                        report["corrupt"].append(where)
+                        continue
+                    report["records"] += 1
+                    where["key"] = key
+                    try:
+                        result_from_record(record["result"])
+                    except Exception as exc:
+                        report["invalid"].append(
+                            dict(where, error=f"{type(exc).__name__}: "
+                                              f"{exc}"))
+                    if in_shard and \
+                            not key.startswith(path.stem):
+                        report["orphans"].append(where)
+                    if key in seen:
+                        bucket = "duplicates" if seen[key] == line \
+                            else "conflicts"
+                        report[bucket].append(where)
+                    else:
+                        seen[key] = line
+        if self.failures_path.exists():
+            with open(self.failures_path) as handle:
+                for lineno, line in enumerate(handle, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        record["key"], record["status"]
+                        report["failure_records"] += 1
+                    except (json.JSONDecodeError, TypeError, KeyError):
+                        report["corrupt"].append(
+                            {"file": FAILURES_FILE, "line": lineno})
+        report["ok"] = not (report["corrupt"] or report["invalid"]
+                            or report["conflicts"] or report["orphans"])
+        return report

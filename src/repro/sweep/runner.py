@@ -300,6 +300,16 @@ class SweepRunner:
                     self.cache.put(outcome.key, outcome.point,
                                    outcome.result, outcome.seconds,
                                    version)
+                elif not outcome.ok and self.cache is not None and \
+                        outcome.key is not None:
+                    # Resume hook: failures are never served as results
+                    # (the next campaign still retries them), but the
+                    # store remembers the last failed outcome per key so
+                    # `repro audit` can classify error/timeout gaps and
+                    # budget retries from the store alone.
+                    self.cache.put_failure(
+                        outcome.key, outcome.point, outcome.status,
+                        outcome.error, outcome.seconds, version)
                 if _obs.ENABLED:
                     if outcome.key is not None:
                         METRICS.inc("cache.miss")

@@ -74,9 +74,11 @@ def test_sweep_json_csv_and_cache_jsonl_agree(tmp_path, capsys):
     for record in sweep_records.values():
         assert tuple(record) == RESULT_KEYS
 
-    # 2. cache JSONL "result" payloads are the very same records.
-    jsonl = [json.loads(line) for line in
-             (cache / "results.jsonl").read_text().splitlines()]
+    # 2. cache JSONL "result" payloads are the very same records
+    #    (new stores are directory-sharded: shards/<keyprefix>.jsonl).
+    jsonl = [json.loads(line)
+             for shard in sorted((cache / "shards").glob("*.jsonl"))
+             for line in shard.read_text().splitlines()]
     assert len(jsonl) == 2
     for entry in jsonl:
         # The cache appends with sort_keys=True (stable diffs), so key

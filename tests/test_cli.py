@@ -125,7 +125,8 @@ def test_sweep_spec_file_cold_then_warm(tmp_path, capsys):
     assert data["points"] == 4
     assert data["cache_hits"] == 0
     assert all(o["status"] == "ok" for o in data["outcomes"])
-    assert (cache / "results.jsonl").exists()
+    # New stores use the directory-sharded layout.
+    assert list((cache / "shards").glob("*.jsonl"))
 
     rc = main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
                "--workers", "0", "--json", str(out_json)])
@@ -256,3 +257,127 @@ def test_trace_perfetto_export(tmp_path, capsys):
     cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] != "M"}
     assert any(c.startswith("fp.") for c in cats)
     assert any(c.startswith("int.") for c in cats)
+
+
+# -- audit ----------------------------------------------------------------
+
+
+AUDIT_SPEC = {
+    "name": "audit-smoke",
+    "kernels": ["vecop"],
+    "variants": ["baseline", "chaining"],
+    "ns": [16, 32],
+}
+
+
+def _write_audit_spec(tmp_path):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(AUDIT_SPEC))
+    return spec
+
+
+def test_audit_cold_then_backfill_then_complete(tmp_path, capsys):
+    spec = _write_audit_spec(tmp_path)
+    cache = tmp_path / "cache"
+    gaps_json = tmp_path / "gaps.json"
+
+    # Nothing run yet: every point is missing, exit code 1.
+    rc = main(["audit", "--spec", str(spec), "--cache-dir", str(cache),
+               "--json", str(gaps_json)])
+    assert rc == 1
+    report = json.loads(gaps_json.read_text())
+    assert report["schema"] == "repro-audit/v1"
+    assert report["counts"]["missing"] == report["total"] == 4
+    assert report["coverage"] == 0.0
+    out = capsys.readouterr().out
+    assert "coverage 0.0%" in out
+    assert "missing" in out
+
+    # --backfill simulates exactly the gaps and exits 0.
+    bf_json = tmp_path / "bf.json"
+    rc = main(["audit", "--spec", str(spec), "--cache-dir", str(cache),
+               "--workers", "0", "--backfill", "--json", str(bf_json)])
+    assert rc == 0
+    payload = json.loads(bf_json.read_text())
+    assert payload["backfill"]["planned"] == 4
+    assert payload["backfill"]["executed"]["ok"] == 4
+    assert payload["backfill"]["executed"]["cached_count"] == 0
+    assert payload["post"]["complete"] and payload["post"]["coverage"] == 1.0
+    capsys.readouterr()
+
+    # The campaign is now complete: audit exits 0 at 100% coverage.
+    rc = main(["audit", "--spec", str(spec), "--cache-dir", str(cache)])
+    assert rc == 0
+    assert "coverage 100.0%" in capsys.readouterr().out
+
+
+def test_audit_dry_run_plans_without_simulating(tmp_path, capsys):
+    spec = _write_audit_spec(tmp_path)
+    cache = tmp_path / "cache"
+    rc = main(["audit", "--spec", str(spec), "--cache-dir", str(cache),
+               "--dry-run"])
+    assert rc == 1                      # still incomplete: dry run
+    out = capsys.readouterr().out
+    assert "backfill plan" in out
+    assert not (cache / "shards").exists()  # nothing was simulated
+
+
+def test_audit_csv_gap_report(tmp_path):
+    import csv as csv_mod
+
+    spec = _write_audit_spec(tmp_path)
+    out_csv = tmp_path / "audit.csv"
+    main(["audit", "--spec", str(spec),
+          "--cache-dir", str(tmp_path / "cache"), "--quiet",
+          "--csv", str(out_csv)])
+    rows = list(csv_mod.DictReader(out_csv.read_text().splitlines()))
+    assert len(rows) == 4
+    assert set(rows[0]) == {"label", "kernel", "variant", "engine",
+                            "num_clusters", "key", "status", "detail",
+                            "attempts"}
+    assert all(row["status"] == "missing" for row in rows)
+
+
+def test_audit_verify_store_only_mode(tmp_path, capsys):
+    spec = _write_audit_spec(tmp_path)
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--spec", str(spec), "--cache-dir", str(cache),
+                 "--workers", "0", "--quiet"]) == 0
+    capsys.readouterr()
+    out_json = tmp_path / "verify.json"
+    rc = main(["audit", "--verify-store", "--cache-dir", str(cache),
+               "--json", str(out_json)])
+    assert rc == 0
+    assert "store integrity: ok" in capsys.readouterr().out
+    report = json.loads(out_json.read_text())["verify"]
+    assert report["ok"] and report["records"] == 4
+
+
+def test_audit_migrate_store_then_audit_is_complete(tmp_path, capsys):
+    from repro.api import Session
+    from repro.sweep.cache import ResultCache
+    from repro.sweep.spec import SweepSpec
+
+    spec = _write_audit_spec(tmp_path)
+    cache = tmp_path / "cache"
+    flat = ResultCache(cache, layout="flat")
+    Session(cache=flat, workers=0).map(
+        SweepSpec.from_file(str(spec)).points())
+    assert (cache / "results.jsonl").exists()
+
+    rc = main(["audit", "--spec", str(spec), "--cache-dir", str(cache),
+               "--migrate-store"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "migrated 4 record(s)" in out
+    assert "coverage 100.0%" in out
+    assert not (cache / "results.jsonl").exists()
+    assert list((cache / "shards").glob("*.jsonl"))
+
+
+def test_audit_argument_validation(tmp_path):
+    with pytest.raises(SystemExit, match="exactly one"):
+        main(["audit"])
+    with pytest.raises(SystemExit, match="unknown preset"):
+        main(["audit", "--preset", "nope",
+              "--cache-dir", str(tmp_path / "c")])

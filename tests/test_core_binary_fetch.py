@@ -1,12 +1,10 @@
 """Binary-fetch mode: execute from encoded machine words in memory."""
 
-import numpy as np
 import pytest
 
 from repro.core import Cluster, CoreConfig
 from repro.eval.runner import run_build
 from repro.isa.assembler import assemble
-from repro.kernels.layout import Grid3d
 from repro.kernels.stencil import box3d1r
 from repro.kernels.stencil_codegen import build_stencil
 from repro.kernels.variants import Variant

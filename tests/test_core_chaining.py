@@ -1,7 +1,5 @@
 """Unit tests of the chaining controller (the paper's section II rules)."""
 
-import pytest
-
 from repro.core.chaining import ChainController
 
 

@@ -1,9 +1,6 @@
 """FP instruction execution end to end through the cluster."""
 
-import math
-
 import numpy as np
-import pytest
 
 from repro.core import Cluster
 

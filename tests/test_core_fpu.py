@@ -1,7 +1,5 @@
 """FPU functional semantics and pipeline mechanics."""
 
-import math
-
 import pytest
 
 from repro.core.config import CoreConfig

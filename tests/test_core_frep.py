@@ -1,10 +1,8 @@
 """FREP hardware-loop integration tests (through the full cluster)."""
 
 import numpy as np
-import pytest
 
 from repro.core import Cluster
-from repro.kernels.ssrgen import SsrPatternAsm
 
 DATA = 0x2000
 OUT = 0x3000

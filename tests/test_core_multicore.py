@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import Cluster
-from repro.core.cluster import SimulationTimeout
 
 OUT = 0x8000
 

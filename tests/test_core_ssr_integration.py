@@ -4,7 +4,7 @@ and stream-register corner cases."""
 import numpy as np
 import pytest
 
-from repro.core import Cluster, CoreConfig
+from repro.core import Cluster
 from repro.core.perf import StallReason
 from repro.kernels.ssrgen import SsrPatternAsm
 

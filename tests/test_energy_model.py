@@ -5,7 +5,6 @@ import pytest
 from repro.core import Cluster, CoreConfig
 from repro.energy.model import EnergyModel, EnergyParams
 from repro.eval.runner import run_build
-from repro.kernels.layout import Grid3d
 from repro.kernels.stencil import box3d1r
 from repro.kernels.stencil_codegen import build_stencil
 from repro.kernels.variants import Variant

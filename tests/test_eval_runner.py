@@ -12,7 +12,7 @@ from repro.eval.runner import run_build, run_stencil_variant
 from repro.kernels.layout import Grid3d
 from repro.kernels.registry import get_stencil, kernel_names
 from repro.kernels.variants import VARIANT_ORDER, Variant
-from repro.kernels.vecop import VecopVariant, build_vecop
+from repro.kernels.vecop import build_vecop
 
 
 def test_run_build_metrics_consistent():

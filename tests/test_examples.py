@@ -29,6 +29,7 @@ def load_example(name: str):
     "linalg_reductions",
     "multicore_stencil",
     "multicluster_scaling",
+    "campaign_audit",
 ])
 def test_example_runs(name, capsys):
     module = load_example(name)

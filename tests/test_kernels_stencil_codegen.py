@@ -92,7 +92,6 @@ def test_variant_structure_in_asm(tiny_grid):
 def test_expected_op_counts(tiny_grid):
     build = build_stencil(box3d1r(), tiny_grid, Variant.CHAINING_PLUS)
     result = run_build(build)
-    meta = build.meta
     compute = result.meta["expected_compute_ops"]
     assert result.energy.breakdown["fpu"] > 0
     # The run's compute-op counter equals taps * points exactly.

@@ -138,16 +138,16 @@ def test_cached_records_never_contain_obs(tmp_path):
     session = Session(cache=str(tmp_path / "cache"))
     session.run(workload("vecop", "chaining", n=16))
     obs.disable()
-    record = json.loads(
-        (tmp_path / "cache" / "results.jsonl").read_text().splitlines()[0])
+    [shard] = (tmp_path / "cache" / "shards").glob("*.jsonl")
+    record = json.loads(shard.read_text().splitlines()[0])
     assert "obs" not in record["result"]["meta"]
     # ... and the record matches one from an unobserved run exactly,
     # wall time aside (the only nondeterministic field).
-    (tmp_path / "cache" / "results.jsonl").unlink()
+    shard.unlink()
     session2 = Session(cache=str(tmp_path / "cache"))
     session2.run(workload("vecop", "chaining", n=16))
-    clean = json.loads(
-        (tmp_path / "cache" / "results.jsonl").read_text().splitlines()[0])
+    [shard2] = (tmp_path / "cache" / "shards").glob("*.jsonl")
+    clean = json.loads(shard2.read_text().splitlines()[0])
     record.pop("seconds"), clean.pop("seconds")
     assert clean == record
 

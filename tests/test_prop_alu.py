@@ -1,7 +1,7 @@
 """Property-based integer ALU semantics against numpy's int32 model."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.int_core import IntCore, _sext_width, _signed

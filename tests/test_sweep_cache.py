@@ -1,10 +1,14 @@
-"""Content-addressed cache: keys, JSONL round-trip, hit/miss behavior."""
+"""Content-addressed cache: keys, JSONL round-trip, hit/miss behavior,
+sharded layout, migration, store verification, and the failure log."""
 
 import json
+
+import pytest
 
 from repro import __version__
 from repro.core.config import CoreConfig
 from repro.sweep.cache import (
+    SHARD_PREFIX_LEN,
     ResultCache,
     point_key,
     result_from_record,
@@ -182,3 +186,194 @@ def test_point_key_engine_sensitivity():
     cfg = CoreConfig(engine="scalar")
     assert point_key(POINT, __version__, base_cfg=cfg) != \
         point_key(POINT, __version__, base_cfg=cfg, engine="fast")
+
+
+# -- sharded layout -------------------------------------------------------
+
+
+def test_new_store_is_sharded_and_files_match_key_prefixes(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.layout == "sharded"
+    points = [make_point("vecop", "baseline", n=n) for n in (16, 32, 48)]
+    result = execute_point(points[0])
+    for point in points:
+        key = point_key(point, __version__)
+        cache.put(key, point, result, 0.0, __version__)
+        shard = tmp_path / "c" / "shards" / \
+            f"{key[:SHARD_PREFIX_LEN]}.jsonl"
+        assert shard.exists()
+        assert json.loads(shard.read_text().splitlines()[-1])["key"] == key
+    assert not (tmp_path / "c" / "results.jsonl").exists()
+    assert len(ResultCache(tmp_path / "c")) == 3
+
+
+def test_existing_flat_store_stays_flat_until_migrated(tmp_path):
+    flat = ResultCache(tmp_path / "c", layout="flat")
+    assert flat.layout == "flat"
+    key = point_key(POINT, __version__)
+    flat.put(key, POINT, execute_point(POINT), 0.0, __version__)
+    assert (tmp_path / "c" / "results.jsonl").exists()
+
+    # auto-detection keeps appending to the flat file.
+    auto = ResultCache(tmp_path / "c")
+    assert auto.layout == "flat"
+    other = make_point("vecop", "baseline", n=16)
+    auto.put(point_key(other, __version__), other,
+             execute_point(other), 0.0, __version__)
+    assert not (tmp_path / "c" / "shards").exists()
+    assert len(ResultCache(tmp_path / "c")) == 2
+
+
+def test_unknown_layout_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown cache layout"):
+        ResultCache(tmp_path / "c", layout="banked")
+
+
+def test_migrate_moves_every_record_and_is_one_way(tmp_path):
+    flat = ResultCache(tmp_path / "c", layout="flat")
+    points = [make_point("vecop", "baseline", n=n) for n in (16, 32, 48)]
+    result = execute_point(points[0])
+    records = {}
+    for point in points:
+        key = point_key(point, __version__)
+        flat.put(key, point, result, 0.0, __version__)
+        records[key] = flat.get_record(key)
+
+    stats = flat.migrate()
+    assert stats["migrated"] == 3 and stats["corrupt_lines"] == 0
+    assert flat.layout == "sharded"
+    assert not (tmp_path / "c" / "results.jsonl").exists()
+
+    migrated = ResultCache(tmp_path / "c")
+    assert migrated.layout == "sharded"
+    assert {r["key"]: r for r in migrated.records()} == records
+    # Idempotent: nothing left to migrate.
+    assert migrated.migrate()["migrated"] == 0
+
+
+def test_half_migrated_store_loses_nothing(tmp_path):
+    """Loads always read flat + shards, so a store caught mid-migration
+    (or written by mixed-era processes) still serves every record."""
+    flat = ResultCache(tmp_path / "c", layout="flat")
+    key_old = point_key(POINT, __version__)
+    flat.put(key_old, POINT, execute_point(POINT), 0.0, __version__)
+    sharded = ResultCache(tmp_path / "c", layout="sharded")
+    other = make_point("vecop", "baseline", n=16)
+    sharded.put(point_key(other, __version__), other,
+                execute_point(other), 0.0, __version__)
+    assert len(ResultCache(tmp_path / "c")) == 2
+
+
+# -- verification ---------------------------------------------------------
+
+
+def test_verify_clean_store(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(point_key(POINT, __version__), POINT,
+              execute_point(POINT), 0.0, __version__)
+    report = cache.verify()
+    assert report["ok"]
+    assert report["records"] == 1 and report["files"] == 1
+    assert report["corrupt"] == [] and report["conflicts"] == []
+
+
+def test_verify_flags_corrupt_conflicting_and_orphan_lines(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache.put(key, POINT, execute_point(POINT), 0.0, __version__)
+    shard = cache._shard_path(key)
+    record = json.loads(shard.read_text())
+    with open(shard, "a") as handle:
+        handle.write("not json at all\n")                  # corrupt
+        handle.write(json.dumps(dict(record, seconds=9.9)) + "\n")
+    orphan = dict(record, key="ffff" + record["key"][4:])
+    cache._append(cache._shard_path(key), orphan)          # wrong shard
+
+    report = ResultCache(tmp_path / "c").verify()
+    assert not report["ok"]
+    assert [c["line"] for c in report["corrupt"]] == [2]
+    assert len(report["conflicts"]) == 1      # same key, differing line
+    assert len(report["orphans"]) == 1
+    assert report["duplicates"] == []
+
+
+def test_verify_identical_duplicates_are_benign(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache.put(key, POINT, execute_point(POINT), 0.0, __version__)
+    shard = cache._shard_path(key)
+    line = shard.read_text()
+    with open(shard, "a") as handle:
+        handle.write(line)                   # racing cooperating writer
+    report = ResultCache(tmp_path / "c").verify()
+    assert report["ok"]                      # benign
+    assert len(report["duplicates"]) == 1
+
+
+def test_verify_flags_invalid_result_payloads(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache._append(cache._shard_path(key),
+                  {"key": key, "version": __version__,
+                   "point": POINT.canonical(), "seconds": 0.0,
+                   "result": "not-a-dict"})
+    report = ResultCache(tmp_path / "c").verify()
+    assert not report["ok"]
+    assert len(report["invalid"]) == 1
+
+
+def test_corrupt_lines_counted_and_warned_once(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(point_key(POINT, __version__), POINT,
+              execute_point(POINT), 0.0, __version__)
+    [shard] = (tmp_path / "c" / "shards").glob("*.jsonl")
+    with open(shard, "a") as handle:
+        handle.write('{"torn": \n{"no_key": 1}\n')
+    with pytest.warns(UserWarning, match="2 malformed JSONL line"):
+        reopened = ResultCache(tmp_path / "c")
+    assert reopened.corrupt_lines == 2
+    assert len(reopened) == 1                # good record still served
+
+
+# -- failure log ----------------------------------------------------------
+
+
+def test_put_failure_accumulates_attempts_across_reloads(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache.put_failure(key, POINT, "error", "boom", 0.1, __version__)
+    assert cache.get_failure(key)["attempts"] == 1
+
+    reopened = ResultCache(tmp_path / "c")
+    reopened.put_failure(key, POINT, "error", "boom", 0.1, __version__)
+    failure = ResultCache(tmp_path / "c").get_failure(key)
+    assert failure["attempts"] == 2
+    assert failure["status"] == "error"
+
+
+def test_get_failure_hidden_once_key_succeeds(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache.put_failure(key, POINT, "timeout", None, 60.0, __version__)
+    cache.put(key, POINT, execute_point(POINT), 0.0, __version__)
+    assert cache.get_failure(key) is None
+    assert ResultCache(tmp_path / "c").get_failure(key) is None
+
+
+def test_failure_messages_are_truncated(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = point_key(POINT, __version__)
+    cache.put_failure(key, POINT, "error", "x" * 10_000, 0.1, __version__)
+    assert len(cache.get_failure(key)["error"]) == 2000
+
+
+def test_runner_records_failures_for_audits(tmp_path):
+    bad = make_point("box3d1r", "Base", grid=(2, 3, 8),
+                     overrides={"fpu_pipe_depth": -1})  # fails validate()
+    SweepRunner(cache=tmp_path / "c", workers=0).run([bad])
+    SweepRunner(cache=tmp_path / "c", workers=0).run([bad])
+    cache = ResultCache(tmp_path / "c")
+    failure = cache.get_failure(point_key(bad, __version__))
+    assert failure is not None
+    assert failure["status"] == "error"
+    assert failure["attempts"] == 2          # cumulative across runs

@@ -1,7 +1,5 @@
 """Trace recorder and figure renderers."""
 
-import numpy as np
-
 from repro.core import Cluster
 from repro.kernels.build import MARK_START
 from repro.kernels.vecop import VecopVariant, build_vecop
