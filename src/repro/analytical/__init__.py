@@ -1,0 +1,48 @@
+"""Tiered fidelity: the closed-form ``"analytical"`` engine.
+
+* :mod:`repro.analytical.model` -- per-kernel-family cycle/energy
+  estimators behind the unchanged Workload/Session/Result surface
+  (``engine="analytical"``);
+* :mod:`repro.analytical.calibrate` -- the cross-validation harness:
+  run both backends over a spec, fit per-family correction factors,
+  emit a ``repro-calibration/v1`` report with error bounds;
+* :mod:`repro.analytical.triage` -- ``Session.map(fidelity="triage")``
+  support: estimate everything, simulate only the interest region.
+"""
+
+from repro.analytical.calibrate import (
+    CALIBRATION_SCHEMA,
+    CalibrationReport,
+    FamilyFit,
+    calibrate,
+    calibration_builds,
+    calibration_workloads,
+)
+from repro.analytical.model import (
+    ANALYTICAL_ENGINE,
+    FAMILIES,
+    FIDELITY_ANALYTICAL,
+    FIDELITY_KEY,
+    estimate_build,
+    estimate_workload,
+    kernel_family,
+)
+from repro.analytical.triage import TriagePlan, select_interest
+
+__all__ = [
+    "ANALYTICAL_ENGINE",
+    "CALIBRATION_SCHEMA",
+    "CalibrationReport",
+    "FAMILIES",
+    "FIDELITY_ANALYTICAL",
+    "FIDELITY_KEY",
+    "FamilyFit",
+    "TriagePlan",
+    "calibrate",
+    "calibration_builds",
+    "calibration_workloads",
+    "estimate_build",
+    "estimate_workload",
+    "kernel_family",
+    "select_interest",
+]

@@ -1,0 +1,238 @@
+"""Cross-validation harness: fit the analytical model per family.
+
+:func:`calibrate` runs the same points through both fidelities -- the
+cycle-accurate engines via :meth:`Session.map` (so results land in the
+session cache under their ordinary keys) and the closed-form estimators
+in-process -- then fits one multiplicative correction per kernel family
+(the geometric mean of ``actual / estimate``) for cycles and energy
+separately, and turns the post-scale residuals into the per-family
+relative-error *bounds* the differential suite and the docs advertise:
+
+    ``bound = max(floor, safety * max_residual_error)``
+
+The report (``repro-calibration/v1``) is a plain, deterministic JSON
+document -- no wall-clock fields -- so its schema is golden-pinned in
+``tests/data/calibration_golden.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analytical.model import (
+    estimate_build,
+    estimate_workload,
+    kernel_family,
+)
+from repro.api.result import Result
+from repro.api.workloads import Workload, workload
+from repro.core.config import CoreConfig
+
+#: Fixed schema identifier of the calibration report.
+CALIBRATION_SCHEMA = "repro-calibration/v1"
+
+#: Error-bound safety margin over the worst observed residual.
+DEFAULT_SAFETY = 2.0
+
+#: Error-bound floor: bounds are never advertised tighter than this.
+DEFAULT_FLOOR = 0.05
+
+
+def _round(value: float) -> float:
+    return round(float(value), 6)
+
+
+@dataclass
+class FamilyFit:
+    """Fitted correction + residual error bound for one kernel family."""
+
+    family: str
+    points: int
+    scale_cycles: float = 1.0
+    scale_energy: float = 1.0
+    max_rel_err_cycles: float = 0.0
+    max_rel_err_energy: float = 0.0
+    bound_cycles: float = DEFAULT_FLOOR
+    bound_energy: float = DEFAULT_FLOOR
+
+    def to_dict(self) -> dict:
+        return {
+            "points": self.points,
+            "scale_cycles": _round(self.scale_cycles),
+            "scale_energy": _round(self.scale_energy),
+            "max_rel_err_cycles": _round(self.max_rel_err_cycles),
+            "max_rel_err_energy": _round(self.max_rel_err_energy),
+            "bound_cycles": _round(self.bound_cycles),
+            "bound_energy": _round(self.bound_energy),
+        }
+
+    @classmethod
+    def from_dict(cls, family: str, data: dict) -> "FamilyFit":
+        return cls(family=family, **{k: data[k] for k in (
+            "points", "scale_cycles", "scale_energy",
+            "max_rel_err_cycles", "max_rel_err_energy",
+            "bound_cycles", "bound_energy")})
+
+
+@dataclass
+class CalibrationReport:
+    """Per-family fits plus provenance; serializes deterministically."""
+
+    version: str
+    engine: str
+    families: dict[str, FamilyFit] = field(default_factory=dict)
+    schema: str = CALIBRATION_SCHEMA
+
+    def bound(self, family: str, metric: str = "cycles") -> float:
+        """Advertised relative-error bound (the documented guarantee)."""
+        fit = self.families.get(family)
+        if fit is None:
+            return DEFAULT_FLOOR
+        return fit.bound_cycles if metric == "cycles" \
+            else fit.bound_energy
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "version": self.version,
+            "engine": self.engine,
+            "families": {name: self.families[name].to_dict()
+                         for name in sorted(self.families)},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationReport":
+        if data.get("schema") != CALIBRATION_SCHEMA:
+            raise ValueError(
+                f"not a {CALIBRATION_SCHEMA} report: schema is "
+                f"{data.get('schema')!r}")
+        return cls(
+            version=data["version"],
+            engine=data["engine"],
+            families={name: FamilyFit.from_dict(name, fit)
+                      for name, fit in data["families"].items()},
+            schema=data["schema"],
+        )
+
+
+def calibration_workloads(include_systems: bool = True) -> list[Workload]:
+    """The default cross-validation spec: every family, small shapes.
+
+    Deliberately modest -- tens of points, each fast under the auto
+    engine -- so calibration is something one reruns after touching
+    either the model or the simulator, not an overnight job.
+    """
+    points = [
+        workload("vecop", "baseline", n=64, loop_mode="frep"),
+        workload("vecop", "baseline", n=64, loop_mode="bne"),
+        workload("vecop", "unrolled", n=64, loop_mode="frep"),
+        workload("vecop", "unrolled", n=64, loop_mode="bne"),
+        workload("vecop", "chaining", n=64, loop_mode="frep"),
+        workload("vecop", "chaining", n=64, loop_mode="bne"),
+        workload("j2d5pt", "Chaining", grid=(1, 8, 32)),
+        workload("j2d5pt", "Base-", grid=(1, 8, 32)),
+        workload("box2d1r", "Base--", grid=(1, 8, 32)),
+        workload("box2d1r", "Base", grid=(1, 8, 32)),
+        workload("star3d1r", "Chaining", grid=(2, 4, 16)),
+        workload("j3d27pt", "Chaining", grid=(2, 4, 16)),
+    ]
+    if include_systems:
+        points += [
+            workload("star3d1r", "Chaining", grid=(8, 4, 16),
+                     num_clusters=2, iters=2),
+            workload("box3d1r", "Base-", grid=(8, 4, 16),
+                     num_clusters=4, iters=1),
+        ]
+    return points
+
+
+def calibration_builds(cfg: CoreConfig | None = None) -> list:
+    """Linalg cross-validation builds (linalg has no Workload axis)."""
+    from repro.kernels.linalg import LinalgVariant, build_axpy, \
+        build_cdot, build_dot, build_gemv
+
+    return [
+        build_axpy(n=64, cfg=cfg),
+        build_dot(n=64, variant=LinalgVariant.CHAINING, cfg=cfg),
+        build_dot(n=64, variant=LinalgVariant.BASELINE, cfg=cfg),
+        build_gemv(rows=8, n=32, variant=LinalgVariant.CHAINING, cfg=cfg),
+        build_cdot(n=32, cfg=cfg),
+    ]
+
+
+def _geomean(ratios: list[float]) -> float:
+    if not ratios:
+        return 1.0
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def _fit_family(family: str, pairs: list[tuple[Result, Result]],
+                safety: float, floor: float) -> FamilyFit:
+    """One family's scale + residual bound from (estimate, actual)."""
+    cyc = [(e.cycles, a.cycles) for e, a in pairs]
+    nrg = [(e.energy.total_pj, a.energy.total_pj) for e, a in pairs]
+    fit = FamilyFit(family=family, points=len(pairs))
+    for metric, samples in (("cycles", cyc), ("energy", nrg)):
+        scale = _geomean([a / e for e, a in samples if e > 0])
+        err = max((abs(e * scale - a) / a for e, a in samples if a > 0),
+                  default=0.0)
+        setattr(fit, f"scale_{metric}", scale)
+        setattr(fit, f"max_rel_err_{metric}", err)
+        setattr(fit, f"bound_{metric}", max(floor, safety * err))
+    return fit
+
+
+def calibrate(points: Iterable[Workload] | None = None, *,
+              cfg: CoreConfig | None = None,
+              engine: str = "auto",
+              cache=None,
+              workers: int | None = 1,
+              timeout: float | None = None,
+              include_linalg: bool = True,
+              safety: float = DEFAULT_SAFETY,
+              floor: float = DEFAULT_FLOOR,
+              version: str | None = None,
+              progress: Callable | None = None) -> CalibrationReport:
+    """Run both fidelities over ``points`` and fit per-family corrections.
+
+    Cycle-accurate results come from a :class:`~repro.api.session.
+    Session` (so a ``cache`` makes re-calibration incremental);
+    estimates are computed in-process and never cached.  ``version``
+    defaults to the package version -- pass a fixed string for
+    reproducible reports (the golden test does).
+    """
+    from repro.api.session import Session
+    from repro.sweep.cache import package_version
+
+    works = list(points) if points is not None else calibration_workloads()
+    session = Session(cfg, cache=cache, workers=workers,
+                      timeout=timeout, engine=engine)
+    campaign = session.map(works, progress=progress)
+    pairs: dict[str, list[tuple[Result, Result]]] = {}
+    for out in campaign.outcomes:
+        if out.status != "ok" or out.result is None:
+            continue
+        est = estimate_workload(out.point, base_cfg=cfg)
+        pairs.setdefault(kernel_family(out.point), []) \
+            .append((est, out.result))
+    if include_linalg:
+        from repro.eval.runner import execute_build
+
+        for build in calibration_builds(cfg):
+            actual = execute_build(build, cfg=cfg)
+            est = estimate_build(build, cfg=cfg)
+            pairs.setdefault("linalg", []).append((est, actual))
+    report = CalibrationReport(
+        version=version if version is not None else package_version(),
+        engine=engine)
+    for family in sorted(pairs):
+        report.families[family] = _fit_family(family, pairs[family],
+                                              safety, floor)
+    return report

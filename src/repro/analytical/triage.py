@@ -1,0 +1,116 @@
+"""Interest-region selection for ``Session.map(fidelity="triage")``.
+
+Triage estimates every point analytically (microseconds, in-process,
+no cache writes) and re-runs only the *interest region* through the
+cycle-accurate engines.  The interest spec is either
+
+* a callable ``interest(workload, estimate) -> bool``, or
+* a dict with a ``"metric"`` (any numeric :class:`Result` attribute or
+  ``meta`` entry; default ``"cycles"``) plus a threshold:
+  ``{"top": 0.25}`` keeps the top quartile, ``{"min": lo}`` /
+  ``{"max": hi}`` keep points whose metric falls inside the bounds, or
+* ``None`` -- the default ``{"metric": "cycles", "top": 0.25}``.
+
+``top`` always selects at least one point, so a triage campaign never
+silently skips simulation altogether.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.api.result import Result
+from repro.api.workloads import Workload
+
+#: Default interest region: the slowest quartile by estimated cycles.
+DEFAULT_INTEREST = {"metric": "cycles", "top": 0.25}
+
+
+def _metric_value(result: Result, metric: str) -> float:
+    value = getattr(result, metric, None)
+    if value is None:
+        value = result.meta.get(metric)
+    if value is None and metric == "energy_pj":
+        value = result.energy.total_pj
+    if not isinstance(value, (int, float)):
+        raise ValueError(
+            f"interest metric {metric!r} is not a numeric Result "
+            f"attribute or meta entry")
+    return float(value)
+
+
+@dataclass
+class TriagePlan:
+    """Which points of a triage campaign get cycle-accurate re-runs.
+
+    Indices refer to positions in the original workload sequence, so
+    the merged campaign preserves point order.
+    """
+
+    workloads: Sequence[Workload]
+    estimates: Sequence[Result | None]
+    selected: list[int] = field(default_factory=list)
+    #: Indices whose *estimate* failed (bad shapes fail identically at
+    #: either fidelity, so these always go to the simulator for the
+    #: authoritative error).
+    failed: list[int] = field(default_factory=list)
+
+    @property
+    def estimated_count(self) -> int:
+        return sum(1 for e in self.estimates if e is not None)
+
+    def counts(self) -> dict:
+        """The ``Campaign.triage`` payload."""
+        return {
+            "points": len(self.workloads),
+            "estimated": self.estimated_count,
+            "selected": len(self.selected) + len(self.failed),
+        }
+
+
+def select_interest(workloads: Sequence[Workload],
+                    estimates: Sequence[Result | None],
+                    interest: Callable | dict | None = None) -> TriagePlan:
+    """Partition a triage campaign into estimate-only and re-run sets."""
+    plan = TriagePlan(workloads=workloads, estimates=estimates)
+    scored: list[tuple[int, Result]] = []
+    for i, est in enumerate(estimates):
+        if est is None:
+            plan.failed.append(i)
+        else:
+            scored.append((i, est))
+    if callable(interest):
+        plan.selected = [i for i, est in scored if interest(workloads[i],
+                                                           est)]
+        return plan
+    spec = dict(DEFAULT_INTEREST if interest is None else interest)
+    metric = str(spec.pop("metric", "cycles"))
+    top = spec.pop("top", None)
+    lo = spec.pop("min", None)
+    hi = spec.pop("max", None)
+    if spec:
+        raise ValueError(
+            f"unknown interest key(s) {sorted(spec)}; expected "
+            f"'metric' plus 'top' or 'min'/'max'")
+    if top is not None and (lo is not None or hi is not None):
+        raise ValueError("interest takes either 'top' or 'min'/'max', "
+                         "not both")
+    values = [(i, _metric_value(est, metric)) for i, est in scored]
+    if top is not None:
+        frac = float(top)
+        if not 0.0 < frac <= 1.0:
+            raise ValueError(f"interest 'top' must be in (0, 1], got "
+                             f"{frac}")
+        keep = max(1, math.ceil(frac * len(values))) if values else 0
+        ranked = sorted(values, key=lambda iv: (-iv[1], iv[0]))
+        plan.selected = sorted(i for i, _ in ranked[:keep])
+    else:
+        if lo is None and hi is None:
+            raise ValueError(
+                "interest dict needs a threshold: 'top' or 'min'/'max'")
+        plan.selected = [
+            i for i, v in values
+            if (lo is None or v >= lo) and (hi is None or v <= hi)]
+    return plan

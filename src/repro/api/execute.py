@@ -159,6 +159,14 @@ def _execute_workload(workload: Workload,
             else DEFAULT_MAX_CYCLES
     cfg = _engine_cfg(apply_overrides(base_cfg, workload.overrides),
                       workload, engine)
+    if cfg is not None and cfg.engine == "analytical":
+        # Closed-form estimate: never constructs a Cluster or System.
+        # Imported lazily so the analytical package (which reuses this
+        # module's config resolution) stays cycle-free.
+        from repro.analytical.model import estimate_workload
+
+        return estimate_workload(workload, base_cfg=base_cfg,
+                                 engine=engine)
     if workload.is_vecop:
         kwargs = {"variant": VecopVariant(workload.variant), "cfg": cfg}
         if workload.n is not None:

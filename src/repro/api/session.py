@@ -108,8 +108,12 @@ class Session:
         ``require_correct``).
         """
         if isinstance(work, KernelBuild):
+            cfg = self._build_cfg()
+            if cfg is not None and cfg.engine == "analytical":
+                from repro.analytical.model import estimate_build
+                return estimate_build(work, cfg=cfg)
             from repro.eval.runner import execute_build
-            return execute_build(work, cfg=self._build_cfg(),
+            return execute_build(work, cfg=cfg,
                                  max_cycles=self.max_cycles
                                  or DEFAULT_MAX_CYCLES,
                                  require_correct=require_correct)
@@ -158,7 +162,9 @@ class Session:
 
     def map(self, workloads: Iterable[Workload],
             parallel: bool | int | None = None,
-            progress: Callable | None = None) -> Campaign:
+            progress: Callable | None = None, *,
+            fidelity: str | None = None,
+            interest: Callable | dict | None = None) -> Campaign:
         """Execute many workloads; returns the campaign of outcomes.
 
         ``parallel``: ``None`` uses the session's ``workers`` default,
@@ -167,20 +173,93 @@ class Session:
         Failures are isolated per workload (see
         :class:`~repro.sweep.runner.Outcome`); cache hits replay
         without simulating.
+
+        ``fidelity`` selects the execution tier:
+
+        * ``None`` / ``"cycle"`` -- the session's engine (default);
+        * ``"analytical"`` -- the closed-form estimator for every point
+          (cached under ``engine="analytical"`` keys; a per-point
+          ``("engine", ...)`` override still wins, as everywhere);
+        * ``"triage"`` -- estimate every point analytically in-process
+          (pure, uncached), then re-run only the ``interest`` region
+          (see :func:`repro.analytical.triage.select_interest`; default
+          the slowest quartile by estimated cycles) cycle-accurately.
+          The merged campaign preserves point order, carries estimate
+          outcomes (``meta["fidelity"]="analytical"``, no cache key)
+          for the rest, and reports counts in ``Campaign.triage``.
         """
+        works = list(workloads)
+        if fidelity not in (None, "cycle", "analytical", "triage"):
+            raise ValueError(
+                f"fidelity must be one of 'cycle', 'analytical', "
+                f"'triage' (or None), got {fidelity!r}")
+        if interest is not None and fidelity != "triage":
+            raise ValueError(
+                "interest applies to fidelity='triage' only")
+        if fidelity == "triage":
+            def run() -> Campaign:
+                return self._map_triage(works, parallel, progress,
+                                        interest)
+        else:
+            engine = "analytical" if fidelity == "analytical" \
+                else self.engine
+            runner = SweepRunner(
+                cache=self.cache, workers=self._pool_width(parallel),
+                timeout=self.timeout, base_cfg=self.cfg,
+                max_cycles=self.max_cycles, engine=engine)
+
+            def run() -> Campaign:
+                return runner.run(works, progress=progress)
+        if not _obs.ENABLED:
+            return run()
+        with _obs.tracer().span("Session.map", "api",
+                                args={"points": len(works)}) as sargs:
+            campaign = run()
+            sargs["cache_hits"] = campaign.cached_count
+            sargs["failed"] = len(campaign.failed)
+            return campaign
+
+    def _map_triage(self, works: list[Workload],
+                    parallel: bool | int | None,
+                    progress: Callable | None,
+                    interest: Callable | dict | None) -> Campaign:
+        """Estimate everything, simulate only the interest region.
+
+        The estimate phase calls the estimator directly -- pure and
+        in-process, so a triage campaign provably cannot touch a
+        simulator (or the cache) outside its selected points.
+        """
+        from repro.analytical.model import estimate_workload
+        from repro.analytical.triage import select_interest
+        from repro.sweep.runner import Outcome
+
+        start = time.perf_counter()
+        estimates: list[Result | None] = []
+        for work in works:
+            try:
+                estimates.append(estimate_workload(work,
+                                                   base_cfg=self.cfg))
+            except Exception:
+                # Invalid shapes fail identically at either fidelity;
+                # route them to the simulator for the authoritative
+                # error outcome.
+                estimates.append(None)
+        plan = select_interest(works, estimates, interest)
+        rerun = sorted(set(plan.selected) | set(plan.failed))
         runner = SweepRunner(
             cache=self.cache, workers=self._pool_width(parallel),
             timeout=self.timeout, base_cfg=self.cfg,
             max_cycles=self.max_cycles, engine=self.engine)
-        works = list(workloads)
-        if not _obs.ENABLED:
-            return runner.run(works, progress=progress)
-        with _obs.tracer().span("Session.map", "api",
-                                args={"points": len(works)}) as sargs:
-            campaign = runner.run(works, progress=progress)
-            sargs["cache_hits"] = campaign.cached_count
-            sargs["failed"] = len(campaign.failed)
-            return campaign
+        sub = runner.run([works[i] for i in rerun], progress=progress)
+        by_index = dict(zip(rerun, sub.outcomes))
+        outcomes = [
+            by_index[i] if i in by_index else
+            Outcome(point=work, status="ok", result=estimates[i])
+            for i, work in enumerate(works)]
+        campaign = Campaign(outcomes=outcomes,
+                            seconds=time.perf_counter() - start,
+                            obs=sub.obs, triage=plan.counts())
+        return campaign
 
     # -- campaign completeness ---------------------------------------------
 

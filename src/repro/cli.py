@@ -14,6 +14,9 @@ Commands map one-to-one onto the paper's artifacts:
   tables, gap classification (missing/error/timeout/stale), an
   executable backfill plan (``--backfill``/``--dry-run``), and store
   maintenance (``--verify-store``, ``--migrate-store``);
+* ``calibrate`` -- cross-validate the closed-form analytical model
+  against a cycle-accurate engine and emit the per-kernel-family
+  error-bound report (``repro-calibration/v1``);
 * ``profile`` -- run one kernel/variant under cProfile and print the
   top-N hotspot tables (cumulative + tottime), so perf work starts
   from data;
@@ -274,12 +277,31 @@ def cmd_sweep(args) -> int:
                   + (f" ({outcome.seconds:.2f}s)" if not outcome.cached
                      else ""))
 
+    interest = None
+    if any(v is not None for v in (args.interest_top, args.interest_min,
+                                   args.interest_max)):
+        if args.fidelity != "triage":
+            raise SystemExit(
+                "--interest-top/--interest-min/--interest-max require "
+                "--fidelity triage")
+        interest = {"metric": args.interest_metric}
+        if args.interest_top is not None:
+            interest["top"] = args.interest_top
+        if args.interest_min is not None:
+            interest["min"] = args.interest_min
+        if args.interest_max is not None:
+            interest["max"] = args.interest_max
+
     print(f"{title}: {len(points)} points, "
-          + ("cache off" if args.no_cache else f"cache {args.cache_dir}"))
+          + ("cache off" if args.no_cache else f"cache {args.cache_dir}")
+          + (f", fidelity {args.fidelity}" if args.fidelity else ""))
     tracer = obs.enable(jsonl_dir=args.obs_out, keep_in_memory=False) \
         if args.obs_out else None
     try:
-        campaign = session.map(points, progress=progress)
+        campaign = session.map(points, progress=progress,
+                               fidelity=args.fidelity, interest=interest)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     finally:
         if meter is not None:
             meter.close()
@@ -319,6 +341,10 @@ def cmd_sweep(args) -> int:
     print(f"\n{len(campaign)} points: {hits} cache hits "
           f"({100.0 * campaign.hit_rate:.0f}%), {simulated} simulated, "
           f"{failed} failed, wall {campaign.seconds:.2f}s")
+    if campaign.triage is not None:
+        t = campaign.triage
+        print(f"triage: {t['estimated']} estimated analytically, "
+              f"{t['selected']} re-run cycle-accurately")
 
     _maybe_write_json(args.json, {
         "title": title,
@@ -331,12 +357,53 @@ def cmd_sweep(args) -> int:
         "timeouts": campaign.timeout_count,
         "failed": failed,
         "seconds": round(campaign.seconds, 3),
+        "fidelity": args.fidelity,
+        "triage": campaign.triage,
         "summary": campaign.summary(),
         "outcomes": [o.record() for o in campaign],
     })
     if args.csv:
         _write_sweep_csv(args.csv, campaign)
     return 0 if not failed else 1
+
+
+def cmd_calibrate(args) -> int:
+    from repro.analytical.calibrate import (
+        DEFAULT_FLOOR,
+        DEFAULT_SAFETY,
+        calibrate,
+    )
+
+    points = None
+    title = "calibrate: built-in cross-validation spec"
+    if args.preset or args.spec:
+        _, title, points = _campaign_points(args, "calibrate")
+    print(f"{title} (reference engine: {args.engine})")
+    report = calibrate(
+        points, engine=args.engine,
+        cache=None if args.no_cache else args.cache_dir,
+        workers=args.workers, timeout=args.timeout,
+        include_linalg=not args.no_linalg,
+        safety=args.safety if args.safety is not None else DEFAULT_SAFETY,
+        floor=args.floor if args.floor is not None else DEFAULT_FLOOR)
+    rows = [[fam, fit.points,
+             round(fit.scale_cycles, 4),
+             f"{100 * fit.max_rel_err_cycles:.2f}%",
+             f"{100 * fit.bound_cycles:.2f}%",
+             round(fit.scale_energy, 4),
+             f"{100 * fit.bound_energy:.2f}%"]
+            for fam, fit in sorted(report.families.items())]
+    print()
+    print(format_table(
+        ["family", "points", "cycle scale", "cycle resid", "cycle bound",
+         "energy scale", "energy bound"],
+        rows, title=f"calibration ({report.schema})"))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.out}")
+    _maybe_write_json(args.json, report.to_dict())
+    return 0
 
 
 def _write_obs_metrics(obs_dir, campaign):
@@ -689,9 +756,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--obs-out", metavar="DIR",
                    help="enable telemetry for the campaign and write "
                         "DIR/trace.json (Perfetto) + DIR/metrics.json")
+    p.add_argument("--fidelity", choices=["cycle", "analytical", "triage"],
+                   default=None,
+                   help="execution tier: 'analytical' estimates every "
+                        "point in closed form (microseconds/point), "
+                        "'triage' estimates everything and re-runs only "
+                        "the interest region cycle-accurately, 'cycle' "
+                        "(default) simulates everything")
+    p.add_argument("--interest-metric", default="cycles",
+                   help="triage interest metric (default: cycles)")
+    p.add_argument("--interest-top", type=float, default=None,
+                   help="triage: re-run the top FRACTION of points by "
+                        "the interest metric (default 0.25)")
+    p.add_argument("--interest-min", type=float, default=None,
+                   help="triage: re-run points with metric >= MIN")
+    p.add_argument("--interest-max", type=float, default=None,
+                   help="triage: re-run points with metric <= MAX")
     p.add_argument("--json")
     p.add_argument("--csv")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("calibrate",
+                       help="cross-validate the analytical model against "
+                            "a cycle-accurate engine and fit per-family "
+                            "error bounds (repro-calibration/v1)")
+    p.add_argument("--preset", help="named campaign: "
+                   + ", ".join(sorted(PRESETS)))
+    p.add_argument("--spec", help="JSON/TOML sweep spec file (default: "
+                                  "the built-in cross-validation spec)")
+    p.add_argument("--cache-dir", default=".sweep-cache",
+                   help="result cache for the cycle-accurate runs")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-simulate every point")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process count (default: all cores; 0/1: serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock budget in seconds")
+    p.add_argument("--engine",
+                   choices=[e for e in ENGINES if e != "analytical"],
+                   default="auto",
+                   help="cycle-accurate reference engine (default auto)")
+    p.add_argument("--safety", type=float, default=None,
+                   help="error-bound margin over the worst residual "
+                        "(default 2.0)")
+    p.add_argument("--floor", type=float, default=None,
+                   help="minimum advertised error bound (default 0.05)")
+    p.add_argument("--no-linalg", action="store_true",
+                   help="skip the linalg cross-validation builds")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the calibration report JSON here")
+    p.add_argument("--json")
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("audit",
                        help="campaign coverage, gap report and backfill "

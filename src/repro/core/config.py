@@ -14,7 +14,7 @@ from repro.isa.instructions import InstrClass
 #: Valid execution-engine selections (see :attr:`CoreConfig.engine`).
 #: The single source of truth -- the CLI, the sweep layer and
 #: :mod:`repro.api.parse` all validate against this tuple.
-ENGINES = ("auto", "fast", "scalar", "scalar-v2")
+ENGINES = ("auto", "fast", "scalar", "scalar-v2", "analytical")
 
 
 def _default_fpu_latency() -> dict[InstrClass, int]:
@@ -103,11 +103,18 @@ class CoreConfig:
     #:   interpreter; attaching a trace recorder is an error instead of
     #:   a silent fallback;
     #: * ``"scalar"`` -- the seed cycle-by-cycle interpreter (the
-    #:   reference model).
+    #:   reference model);
+    #: * ``"analytical"`` -- no simulation at all: the closed-form
+    #:   cycle/energy estimator (:mod:`repro.analytical`).  Estimates
+    #:   carry ``Result.meta["fidelity"] = "analytical"`` and are only
+    #:   accurate within the calibrated per-kernel-family error bounds
+    #:   (see ``docs/fidelity.md``); a :class:`~repro.core.cluster.
+    #:   Cluster` never sees this engine.
     #:
-    #: All engines are bit-identical in every architecturally visible
-    #: quantity: results, cycle counts, perf counters, stall breakdowns,
-    #: SSR/TCDM traffic statistics, trace events and therefore energy.
+    #: All cycle-accurate engines (everything except ``"analytical"``)
+    #: are bit-identical in every architecturally visible quantity:
+    #: results, cycle counts, perf counters, stall breakdowns, SSR/TCDM
+    #: traffic statistics, trace events and therefore energy.
     engine: str = "auto"
 
     #: Clock frequency used to convert cycles to time and energy to power.
@@ -131,8 +138,9 @@ class CoreConfig:
             if lat < 1:
                 raise ValueError(f"latency of {iclass} must be >= 1")
         if self.engine not in ENGINES:
+            choices = ", ".join(f"'{e}'" for e in ENGINES[:-1])
             raise ValueError(
-                f"engine must be 'auto', 'fast', 'scalar' or 'scalar-v2', "
+                f"engine must be one of {choices} or '{ENGINES[-1]}', "
                 f"got {self.engine!r}")
 
     @property

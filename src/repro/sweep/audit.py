@@ -19,7 +19,13 @@ point into one of :data:`GAP_CLASSES`:
     the point must be re-simulated (re-keyed) to count;
 ``stale-schema``
     a record exists but its ``result`` payload is not the current
-    canonical schema (a pre-1.5 record, or an unparseable payload).
+    canonical schema (a pre-1.5 record, or an unparseable payload);
+``stale-fidelity``
+    a schema-valid record exists under the point's key, but its
+    fidelity does not match the audit context: an analytical estimate
+    (``meta["fidelity"] == "analytical"``) where the campaign expects a
+    cycle-accurate record, or the reverse.  A campaign audited at cycle
+    fidelity therefore never counts an analytical record as ``ok``.
 
 :class:`CampaignAudit` carries the per-point classification, the
 coverage fraction, per-axis breakdowns (kernel, variant, engine,
@@ -52,7 +58,7 @@ AUDIT_SCHEMA = "repro-audit/v1"
 
 #: Every classification a point can receive, in report order.
 GAP_CLASSES = ("ok", "missing", "error", "timeout", "stale-version",
-               "stale-schema")
+               "stale-schema", "stale-fidelity")
 
 #: Axes of the coverage breakdown table.
 AUDIT_AXES = ("kernel", "variant", "engine", "num_clusters")
@@ -60,8 +66,8 @@ AUDIT_AXES = ("kernel", "variant", "engine", "num_clusters")
 #: Backfill execution order: cheap certain wins first (never-run
 #: points), then re-keys of stale records, then retries of points that
 #: already failed at least once.
-BACKFILL_ORDER = ("missing", "stale-version", "stale-schema", "timeout",
-                  "error")
+BACKFILL_ORDER = ("missing", "stale-version", "stale-schema",
+                  "stale-fidelity", "timeout", "error")
 
 #: Failed points are retried by backfills at most this many times
 #: (cumulative across campaigns) unless overridden.
@@ -253,14 +259,16 @@ def audit_campaign(spec_or_points, cache: ResultCache | str,
     audits = []
     for point in points:
         key = point_key(point, version, base_cfg, engine=engine)
-        audits.append(_classify(point, key, cache, version, by_canonical))
+        audits.append(_classify(point, key, cache, version, by_canonical,
+                                effective_engine))
     return CampaignAudit(name=name or "campaign", version=version,
                          points=audits, engine=effective_engine,
                          corrupt_lines=cache.corrupt_lines)
 
 
 def _classify(point: Workload, key: str, cache: ResultCache,
-              version: str, by_canonical: dict) -> PointAudit:
+              version: str, by_canonical: dict,
+              campaign_engine: str = "auto") -> PointAudit:
     record = cache.get_record(key)
     if record is not None:
         issue = _schema_issue(record)
@@ -272,6 +280,21 @@ def _classify(point: Workload, key: str, cache: ResultCache,
             return PointAudit(point, key, "stale-version",
                               detail=f"record claims version "
                                      f"{record.get('version')!r}")
+        # Fidelity gate: the record's own payload must match what this
+        # campaign context would compute.  Like the version check this
+        # is defensive -- the engine is a key ingredient -- but it is
+        # what stops an analytical estimate (however it got under this
+        # key: a hand-merged store, a copied cache) from masquerading
+        # as a cycle-accurate result, and vice versa.
+        recorded = (record.get("result") or {}).get("meta", {}) \
+            .get("fidelity")
+        expect = (point.engine or campaign_engine) == "analytical"
+        if (recorded == "analytical") != expect:
+            return PointAudit(
+                point, key, "stale-fidelity",
+                detail=f"record fidelity {recorded or 'cycle'!r}, "
+                       f"campaign expects "
+                       f"{'analytical' if expect else 'cycle'!r}")
         return PointAudit(point, key, "ok")
 
     # No record under the current key: look for the same canonical

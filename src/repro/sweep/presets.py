@@ -96,9 +96,18 @@ def scaling_points() -> list:
     return points
 
 
+def calibration_points() -> list:
+    """The analytical model's cross-validation spec (every workload
+    family; linalg builds ride along inside ``repro calibrate``)."""
+    from repro.analytical.calibrate import calibration_workloads
+    return calibration_workloads()
+
+
 PRESETS = {
     "fig3": ("Fig. 3: 2 paper kernels x 5 variants, default grids",
              fig3_spec),
+    "calibration": ("analytical-model cross-validation: every workload "
+                    "family at small shapes", calibration_points),
     "smoke": ("fast 26-point mixed stencil/vecop campaign", smoke_spec),
     "depth-ablation": ("chaining benefit vs. FPU pipeline depth 1..6",
                        depth_ablation_points),

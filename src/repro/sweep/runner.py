@@ -155,6 +155,9 @@ class Campaign:
     #: Aggregated telemetry (``repro.obs.metrics.campaign_obs``); only
     #: filled when observability was enabled during the run.
     obs: dict | None = None
+    #: Triage accounting (``Session.map(fidelity="triage")``): point /
+    #: estimated / selected counts.  ``None`` for ordinary campaigns.
+    triage: dict | None = None
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -204,6 +207,8 @@ class Campaign:
         }
         if self.obs is not None:
             summary["obs"] = self.obs
+        if self.triage is not None:
+            summary["triage"] = self.triage
         return summary
 
     def results(self) -> dict[Workload, Result]:

@@ -47,6 +47,16 @@ def seed_pre15(cache, point, version=__version__):
     return key
 
 
+def seed_analytical(cache, point, version=__version__):
+    """Store an analytical estimate under the point's CYCLE-fidelity
+    key (as a hand-merged or copied store could), which the audit's
+    fidelity gate must refuse to count as ok."""
+    from repro.analytical.model import estimate_workload
+    key = point_key(point, version)
+    cache.put(key, point, estimate_workload(point), 0.0, version)
+    return key
+
+
 # -- classification, one class at a time ----------------------------------
 
 
@@ -136,6 +146,49 @@ def test_same_version_other_context_is_missing_not_stale(tmp_path):
     assert audit.points[0].status == "missing"
 
 
+def test_analytical_record_is_stale_fidelity_at_cycle_context(tmp_path):
+    """A campaign audited at cycle fidelity never counts an analytical
+    record as ok -- it lands in the stale-fidelity class."""
+    cache = ResultCache(tmp_path / "c")
+    point = make_point("vecop", "chaining", n=16)
+    seed_analytical(cache, point)
+    audit = audit_campaign([point], cache)   # engine context: auto
+    assert audit.points[0].status == "stale-fidelity"
+    assert "analytical" in audit.points[0].detail
+    assert not audit.complete
+    # Backfill repairs it: the class is part of the execution order.
+    assert "stale-fidelity" in BACKFILL_ORDER
+    plan = BackfillPlan(audit)
+    assert [e.point for e in plan.entries] == [point]
+
+
+def test_cycle_record_is_stale_fidelity_at_analytical_context(tmp_path):
+    """The reverse direction: a cycle-accurate record where the
+    campaign expects estimates is flagged, not silently served."""
+    cache = ResultCache(tmp_path / "c")
+    point = make_point("vecop", "chaining", n=16)
+    key = point_key(point, __version__, engine="analytical")
+    cache.put(key, point, execute_point(point), 0.0, __version__)
+    audit = audit_campaign([point], cache, engine="analytical")
+    assert audit.points[0].status == "stale-fidelity"
+    assert "expects 'analytical'" in audit.points[0].detail
+
+
+def test_analytical_campaign_audits_its_own_records_ok(tmp_path):
+    """Estimates cached by an analytical session are ok *in that
+    session's own context* -- the gate flags mismatches only."""
+    session = Session(cache=str(tmp_path / "c"), engine="analytical",
+                      workers=0)
+    point = make_point("vecop", "chaining", n=16)
+    session.map([point])
+    audit = session.audit([point])
+    assert audit.points[0].status == "ok" and audit.complete
+    # The very same store audited at cycle fidelity has no record under
+    # the cycle key at all (the engine is a key ingredient): missing.
+    cycle = Session(cache=str(tmp_path / "c"), workers=0)
+    assert cycle.audit([point]).points[0].status == "missing"
+
+
 def test_corrupt_store_lines_surface_in_the_audit(tmp_path):
     cache = ResultCache(tmp_path / "c")
     point = make_point("vecop", "chaining", n=16)
@@ -203,9 +256,11 @@ def test_golden_audit_report(tmp_path):
     p_schema = make_point("vecop", "unrolled", n=16)
     p_error = make_point("vecop", "baseline", n=32)
     p_timeout = make_point("vecop", "unrolled", n=32)
+    p_fidelity = make_point("vecop", "baseline", n=48)
     seed_ok(cache, p_ok, version=version)
     seed_ok(cache, p_stale, version="1.0.0")
     seed_pre15(cache, p_schema, version=version)
+    seed_analytical(cache, p_fidelity, version=version)
     key_err = point_key(p_error, version)
     cache.put_failure(key_err, p_error, "error",
                       "Traceback (most recent call last):\n"
@@ -217,7 +272,8 @@ def test_golden_audit_report(tmp_path):
                       "timeout", None, 60.0, version)
 
     audit = audit_campaign(
-        [p_ok, p_missing, p_stale, p_schema, p_error, p_timeout],
+        [p_ok, p_missing, p_stale, p_schema, p_error, p_timeout,
+         p_fidelity],
         ResultCache(tmp_path / "c"), version=version, name="golden-audit")
     golden = json.loads((DATA / "audit_golden.json").read_text())
     assert audit.to_dict() == golden
@@ -236,10 +292,12 @@ def _gapped_store(root):
         "stale-schema": make_point("vecop", "unrolled", n=16),
         "error": make_point("vecop", "baseline", n=32),
         "timeout": make_point("vecop", "unrolled", n=32),
+        "stale-fidelity": make_point("vecop", "baseline", n=48),
     }
     seed_ok(cache, points["ok"])
     seed_ok(cache, points["stale-version"], version="0.0.1")
     seed_pre15(cache, points["stale-schema"])
+    seed_analytical(cache, points["stale-fidelity"])
     cache.put_failure(point_key(points["error"], __version__),
                       points["error"], "error", "boom", 0.1, __version__)
     cache.put_failure(point_key(points["timeout"], __version__),
@@ -252,16 +310,17 @@ def test_backfill_order_groups_by_class(tmp_path):
     points = _gapped_store(tmp_path / "c")
     # Spec order deliberately scrambled; the plan regroups it.
     audit = audit_campaign(
-        [points["error"], points["timeout"], points["stale-schema"],
-         points["ok"], points["stale-version"], points["missing"]],
+        [points["error"], points["timeout"], points["stale-fidelity"],
+         points["stale-schema"], points["ok"], points["stale-version"],
+         points["missing"]],
         ResultCache(tmp_path / "c"))
     plan = BackfillPlan(audit)
     assert [e.status for e in plan.entries] == list(BACKFILL_ORDER)
     assert points["ok"] not in plan.points
-    assert len(plan) == 5 and not plan.abandoned
+    assert len(plan) == 6 and not plan.abandoned
     report = plan.to_dict()
     assert report["schema"] == "repro-backfill/v1"
-    assert report["planned"] == 5 and report["abandoned"] == []
+    assert report["planned"] == 6 and report["abandoned"] == []
 
 
 def test_retry_budget_abandons_persistent_failures(tmp_path):

@@ -188,6 +188,23 @@ def test_point_key_engine_sensitivity():
         point_key(POINT, __version__, base_cfg=cfg, engine="fast")
 
 
+def test_analytical_keys_collide_with_no_cycle_engine():
+    """Regression: an analytical estimate must never replay as (or be
+    shadowed by) a cycle-accurate record -- its key is distinct from
+    every cycle engine's key, under default and overridden configs."""
+    from repro.core.config import ENGINES
+
+    for base_cfg in (None, CoreConfig(fpu_pipe_depth=4)):
+        keys = {engine: point_key(POINT, __version__, base_cfg=base_cfg,
+                                  engine=engine)
+                for engine in ENGINES}
+        analytical = keys.pop("analytical")
+        assert analytical not in keys.values()
+        # And the no-engine default resolves to a cycle key too.
+        assert analytical != point_key(POINT, __version__,
+                                       base_cfg=base_cfg)
+
+
 # -- sharded layout -------------------------------------------------------
 
 
