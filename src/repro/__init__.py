@@ -80,7 +80,7 @@ from repro.sweep import (
 )
 from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AreaModel",

@@ -27,6 +27,7 @@ See ``docs/api.md`` for the full reference and the migration table
 from the pre-1.5 entry points.
 """
 
+from repro.api.cancel import CancelToken
 from repro.api.execute import (
     DEFAULT_MAX_CYCLES,
     apply_overrides,
@@ -61,6 +62,7 @@ from repro.api.workloads import (
 )
 
 __all__ = [
+    "CancelToken",
     "DEFAULT_MAX_CYCLES",
     "FPU_DEPTH_KEY",
     "OVERRIDABLE_FIELDS",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable
 
+from repro.api.cancel import CancelToken
 from repro.api.execute import (
     DEFAULT_MAX_CYCLES,
     apply_engine,
@@ -164,7 +165,8 @@ class Session:
             parallel: bool | int | None = None,
             progress: Callable | None = None, *,
             fidelity: str | None = None,
-            interest: Callable | dict | None = None) -> Campaign:
+            interest: Callable | dict | None = None,
+            cancel: CancelToken | None = None) -> Campaign:
         """Execute many workloads; returns the campaign of outcomes.
 
         ``parallel``: ``None`` uses the session's ``workers`` default,
@@ -187,6 +189,13 @@ class Session:
           The merged campaign preserves point order, carries estimate
           outcomes (``meta["fidelity"]="analytical"``, no cache key)
           for the rest, and reports counts in ``Campaign.triage``.
+
+        ``cancel`` is a cooperative :class:`~repro.api.cancel.
+        CancelToken`: trip it (from a signal handler, another thread,
+        or the serve layer) and the campaign stops dispatching new
+        points, drains what is in flight, and returns with
+        ``"cancelled"`` outcomes for the rest --
+        see :meth:`repro.sweep.runner.SweepRunner.run`.
         """
         works = list(workloads)
         if fidelity not in (None, "cycle", "analytical", "triage"):
@@ -199,7 +208,7 @@ class Session:
         if fidelity == "triage":
             def run() -> Campaign:
                 return self._map_triage(works, parallel, progress,
-                                        interest)
+                                        interest, cancel)
         else:
             engine = "analytical" if fidelity == "analytical" \
                 else self.engine
@@ -209,7 +218,8 @@ class Session:
                 max_cycles=self.max_cycles, engine=engine)
 
             def run() -> Campaign:
-                return runner.run(works, progress=progress)
+                return runner.run(works, progress=progress,
+                                  cancel=cancel)
         if not _obs.ENABLED:
             return run()
         with _obs.tracer().span("Session.map", "api",
@@ -222,7 +232,8 @@ class Session:
     def _map_triage(self, works: list[Workload],
                     parallel: bool | int | None,
                     progress: Callable | None,
-                    interest: Callable | dict | None) -> Campaign:
+                    interest: Callable | dict | None,
+                    cancel: CancelToken | None = None) -> Campaign:
         """Estimate everything, simulate only the interest region.
 
         The estimate phase calls the estimator directly -- pure and
@@ -250,7 +261,8 @@ class Session:
             cache=self.cache, workers=self._pool_width(parallel),
             timeout=self.timeout, base_cfg=self.cfg,
             max_cycles=self.max_cycles, engine=self.engine)
-        sub = runner.run([works[i] for i in rerun], progress=progress)
+        sub = runner.run([works[i] for i in rerun], progress=progress,
+                         cancel=cancel)
         by_index = dict(zip(rerun, sub.outcomes))
         outcomes = [
             by_index[i] if i in by_index else
@@ -258,7 +270,8 @@ class Session:
             for i, work in enumerate(works)]
         campaign = Campaign(outcomes=outcomes,
                             seconds=time.perf_counter() - start,
-                            obs=sub.obs, triage=plan.counts())
+                            obs=sub.obs, triage=plan.counts(),
+                            interrupted=sub.interrupted)
         return campaign
 
     # -- campaign completeness ---------------------------------------------

@@ -20,6 +20,11 @@ Commands map one-to-one onto the paper's artifacts:
 * ``profile`` -- run one kernel/variant under cProfile and print the
   top-N hotspot tables (cumulative + tottime), so perf work starts
   from data;
+* ``serve``  -- the async simulation-as-a-service job layer
+  (:mod:`repro.serve`): submit workloads over HTTP, cache-first with
+  in-flight dedup, durable job journal (see ``docs/serve.md``);
+* ``cache``  -- result-store maintenance (``cache prune``: LRU shard
+  eviction with failure-log awareness);
 * ``list``   -- available kernels, variants and sweep presets.
 
 Every command is a thin shell over :mod:`repro.api`: arguments build a
@@ -32,14 +37,17 @@ emits the one canonical result schema
 from __future__ import annotations
 
 import argparse
+import contextlib
 import csv
 import json
+import signal
 import sys
 
 import repro.obs as obs
 from repro.api import (
     RESULT_METRICS,
     RESULT_SCALARS,
+    CancelToken,
     Session,
     make_workload,
     normalize_variant,
@@ -76,6 +84,39 @@ from repro.trace import TraceRecorder, render_dataflow, render_issue_trace
 #: stdout rounding of ``repro run`` (the pre-1.5 display precision).
 _RUN_DISPLAY_DIGITS = {"fpu_utilization": 4, "power_mw": 2, "gflops": 3,
                        "gflops_per_watt": 3, "cycles_per_point": 3}
+
+#: exit status for a cancelled/interrupted campaign (128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _graceful_signals(token: CancelToken):
+    """Drain-then-abort signal handling around a campaign.
+
+    The first SIGINT/SIGTERM trips ``token`` so the campaign stops
+    dispatching and drains in flight points (results land in the
+    cache, the failure log is flushed).  A second signal escalates to
+    ``KeyboardInterrupt``, which the runner answers by terminating
+    pool workers outright.  Handlers are restored on exit.
+    """
+    def handler(signum, frame):
+        if token.cancelled:  # second signal: abort now
+            raise KeyboardInterrupt
+        token.cancel()
+        print("\ninterrupt: draining in-flight points "
+              "(^C again to abort)", file=sys.stderr, flush=True)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # non-main thread / platform
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def _maybe_write_json(path: str | None, payload) -> None:
@@ -297,17 +338,20 @@ def cmd_sweep(args) -> int:
           + (f", fidelity {args.fidelity}" if args.fidelity else ""))
     tracer = obs.enable(jsonl_dir=args.obs_out, keep_in_memory=False) \
         if args.obs_out else None
-    try:
-        campaign = session.map(points, progress=progress,
-                               fidelity=args.fidelity, interest=interest)
-    except ValueError as exc:
-        raise SystemExit(str(exc)) from None
-    finally:
-        if meter is not None:
-            meter.close()
-        if tracer is not None:
-            trace_path = obs.export_dir(args.obs_out, tracer=tracer)
-            obs.disable()
+    token = CancelToken()
+    with _graceful_signals(token):
+        try:
+            campaign = session.map(points, progress=progress,
+                                   fidelity=args.fidelity,
+                                   interest=interest, cancel=token)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        finally:
+            if meter is not None:
+                meter.close()
+            if tracer is not None:
+                trace_path = obs.export_dir(args.obs_out, tracer=tracer)
+                obs.disable()
 
     if tracer is not None:
         metrics_path = _write_obs_metrics(args.obs_out, campaign)
@@ -338,9 +382,12 @@ def cmd_sweep(args) -> int:
     hits = campaign.cached_count
     simulated = len(campaign) - hits
     failed = len(campaign.failed)
+    cancelled = campaign.cancelled_count
     print(f"\n{len(campaign)} points: {hits} cache hits "
           f"({100.0 * campaign.hit_rate:.0f}%), {simulated} simulated, "
-          f"{failed} failed, wall {campaign.seconds:.2f}s")
+          f"{failed} failed, wall {campaign.seconds:.2f}s"
+          + (f", {cancelled} cancelled" if cancelled else "")
+          + (" [interrupted]" if campaign.interrupted else ""))
     if campaign.triage is not None:
         t = campaign.triage
         print(f"triage: {t['estimated']} estimated analytically, "
@@ -364,7 +411,71 @@ def cmd_sweep(args) -> int:
     })
     if args.csv:
         _write_sweep_csv(args.csv, campaign)
+    if campaign.interrupted or cancelled:
+        return EXIT_INTERRUPTED
     return 0 if not failed else 1
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve import JobStore, ReproServer, Scheduler
+
+    session = Session(cache=args.store, workers=args.workers,
+                      timeout=args.timeout, engine=args.engine)
+    job_store = JobStore(Path(args.store) / "jobs.jsonl")
+    pending = job_store.replay()
+    scheduler = Scheduler(session, job_store, workers=args.workers,
+                          max_queue=args.max_queue)
+    requeued = scheduler.resume(pending)
+    server = ReproServer(
+        scheduler, host=args.host, port=args.port,
+        prune_interval=args.prune_interval,
+        prune_max_bytes=args.prune_max_bytes,
+        prune_max_age_days=args.prune_max_age_days,
+        ready_file=args.ready_file)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(store {args.store}, {scheduler.workers} workers"
+              + (f"; journal replay: {len(pending)} job(s), "
+                 f"{requeued} point(s) re-enqueued" if pending else "")
+              + ")", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("shutting down: journaling live jobs as interrupted",
+              flush=True)
+        await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_cache_prune(args) -> int:
+    if args.max_bytes is None and args.max_age_days is None:
+        raise SystemExit("cache prune needs --max-bytes and/or "
+                         "--max-age-days")
+    cache = ResultCache(args.cache_dir)
+    try:
+        report = cache.prune(max_bytes=args.max_bytes,
+                             max_age_days=args.max_age_days,
+                             dry_run=args.dry_run)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"{cache.root}: {verb} {len(report['evicted_shards'])} "
+          f"shard(s), {report['evicted_records']} record(s), "
+          f"{report['evicted_bytes']} bytes "
+          f"(dropped {report['dropped_failures']} superseded "
+          f"failure record(s)); keeping {report['kept_shards']} "
+          f"shard(s), {report['kept_bytes']} bytes")
+    _maybe_write_json(args.json, report)
+    return 0
 
 
 def cmd_calibrate(args) -> int:
@@ -776,6 +887,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv")
     p.set_defaults(func=cmd_sweep)
 
+    p = sub.add_parser("serve",
+                       help="run the async simulation-as-a-service job "
+                            "layer (HTTP; see docs/serve.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="bind port (0: OS-assigned; default 8023)")
+    p.add_argument("--store", default=".serve-store",
+                   help="result store + job journal directory "
+                        "(default .serve-store)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulation pool width (default: all cores)")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="pending-point queue bound; submissions beyond "
+                        "it get HTTP 429 (default 1024)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-point wall-clock budget in seconds "
+                        "(a job's own timeout wins)")
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="execution engine for every served point "
+                        "(cache-key ingredient)")
+    p.add_argument("--prune-interval", type=float, default=None,
+                   help="seconds between store prunes (default: never)")
+    p.add_argument("--prune-max-bytes", type=int, default=None,
+                   help="shard-byte budget for the periodic prune")
+    p.add_argument("--prune-max-age-days", type=float, default=None,
+                   help="shard-age horizon for the periodic prune")
+    p.add_argument("--ready-file", metavar="PATH",
+                   help="write {host, port, pid} JSON here once "
+                        "listening (for scripts and CI)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache",
+                       help="result-store maintenance (prune)")
+    cache_sub = p.add_subparsers(dest="cache_cmd", required=True)
+    p = cache_sub.add_parser(
+        "prune", help="evict cold shards, LRU by shard mtime "
+                      "(failure-log aware)")
+    p.add_argument("--cache-dir", default=".sweep-cache",
+                   help="result store to prune (default .sweep-cache)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="evict oldest shards until the rest fit")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   help="evict shards untouched for longer than this")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be evicted; touch nothing")
+    p.add_argument("--json")
+    p.set_defaults(func=cmd_cache_prune)
+
     p = sub.add_parser("calibrate",
                        help="cross-validate the analytical model against "
                             "a cycle-accurate engine and fit per-family "
@@ -866,7 +1026,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("\naborted", file=sys.stderr, flush=True)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,7 +24,20 @@ name                      type         meaning
 ``dma.bytes``             counter      bytes moved through global memory
 ``dma.contended_cycles``  counter      interconnect arbitration conflicts
 ``system.runs``           counter      ``System.run`` invocations
+``serve.requests``        counter      job submissions accepted
+``serve.cache_hits``      counter      serve points answered from cache
+``serve.dedup_hits``      counter      points coalesced onto in-flight keys
+``serve.executions``      counter      simulations dispatched to the pool
+``serve.jobs_done``       counter      jobs finished clean (also
+                                       ``_error``/``_timeout``/``_cancelled``)
+``serve.queue_depth``     gauge        undispatched unique points
+``serve.inflight``        gauge        points running on the pool
 ========================  ===========  =====================================
+
+The ``serve.*`` family is mirrored from the always-on scheduler
+counters (:data:`repro.serve.scheduler.SERVE_COUNTERS`) only while
+observability is enabled; ``GET /v1/metrics`` reports the scheduler's
+own counters regardless.
 """
 
 from __future__ import annotations

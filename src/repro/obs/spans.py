@@ -152,6 +152,25 @@ class Tracer:
                 "args": args,
             })
 
+    def complete(self, name: str, cat: str = "api", lane: str = "main",
+                 start: float | None = None, seconds: float = 0.0,
+                 args: dict | None = None) -> None:
+        """Record a wall span retrospectively from ``(start, seconds)``.
+
+        Async seams (the serve job lifecycle) cannot wrap their work in
+        a ``with span():`` block -- the span's extent is only known
+        once the job reaches a terminal state.  ``start`` is epoch
+        seconds (defaults to ``seconds`` ago).
+        """
+        if start is None:
+            start = time.time() - seconds
+        self._emit({
+            "kind": "span", "clock": "wall", "name": name,
+            "cat": cat, "ts": float(start), "dur": float(seconds),
+            "proc": f"repro pid {os.getpid()}", "lane": lane,
+            "args": dict(args or {}),
+        })
+
     def instant(self, name: str, cat: str = "api", lane: str = "main",
                 args: dict | None = None) -> None:
         self._emit({

@@ -1,0 +1,107 @@
+"""Thin stdlib client for the serve API (tests, examples, scripts).
+
+One :class:`ServeClient` per server; every method is one blocking
+HTTP round trip via :mod:`urllib.request` -- no sessions, no retries,
+no dependencies.  Workloads go over the wire in their
+:meth:`~repro.api.Workload.canonical` form; results come back in the
+:meth:`~repro.api.Result.to_dict` wire schema.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from repro.api.workloads import Workload
+from repro.serve.jobs import TERMINAL_STATUSES
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """Non-2xx response; carries the HTTP status and server payload."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: "
+                         f"{payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode())
+            except (ValueError, OSError):
+                payload = {"error": str(exc)}
+            raise ServeError(exc.code, payload) from None
+
+    # -- API ----------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, workloads: Workload | list[Workload], *,
+               priority: int = 10,
+               timeout: float | None = None) -> dict:
+        """Submit one workload or a batch; returns the job view."""
+        if isinstance(workloads, Workload):
+            workloads = [workloads]
+        body: dict = {"workloads": [w.canonical() for w in workloads],
+                      "priority": priority}
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["status"] in TERMINAL_STATUSES:
+                return view
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['status']} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's NDJSON event log until it closes."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())

@@ -1,0 +1,85 @@
+"""In-process server harness for tests and examples.
+
+:class:`ServerThread` runs a full :class:`~repro.serve.http.
+ReproServer` (scheduler, journal, listener on an OS-assigned port) on
+a background event-loop thread, so a test can exercise the real wire
+protocol without subprocess management.  Kill-and-restart durability
+tests still need a real process -- see the CI serve-smoke script.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+
+from repro.api.session import Session
+from repro.serve.client import ServeClient
+from repro.serve.http import ReproServer
+from repro.serve.jobs import JobStore
+from repro.serve.scheduler import Scheduler
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """A live serve stack bound to ``127.0.0.1:<ephemeral port>``.
+
+    Use as a context manager::
+
+        with ServerThread(store_dir) as server:
+            client = server.client()
+            job = client.submit(workload("vecop", "baseline", n=16))
+    """
+
+    def __init__(self, store: str | Path, *, workers: int = 1,
+                 timeout: float | None = None, max_queue: int = 1024,
+                 engine: str | None = None):
+        self.store = Path(store)
+        self.session = Session(cache=str(self.store), workers=workers,
+                               timeout=timeout, engine=engine)
+        self.job_store = JobStore(self.store / "jobs.jsonl")
+        pending = self.job_store.replay()
+        self.scheduler = Scheduler(self.session, self.job_store,
+                                   workers=workers, max_queue=max_queue)
+        self.requeued = self.scheduler.resume(pending)
+        self.server = ReproServer(self.scheduler, port=0)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server.port}"
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        return ServeClient(self.url, timeout=timeout)
+
+    def start(self) -> "ServerThread":
+        def run() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.server.start())
+            self._started.set()
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True,
+                                        name="serve-test-server")
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 import warnings
 from dataclasses import fields as dataclass_fields
 from pathlib import Path
@@ -313,6 +315,105 @@ class ResultCache:
         return {"migrated": migrated,
                 "shards": len(list(self.shards_dir.glob("*.jsonl"))),
                 "corrupt_lines": self.corrupt_lines - corrupt_before}
+
+    def prune(self, max_bytes: int | None = None,
+              max_age_days: float | None = None, *,
+              dry_run: bool = False) -> dict:
+        """Evict cold shards until the store fits its budgets.
+
+        Eviction is LRU at *shard-file* granularity, ordered by shard
+        mtime (appends touch the mtime, so recently-written shards are
+        the warm ones; in-memory reads deliberately do not count).
+        Two independent budgets, either or both:
+
+        * ``max_age_days`` -- drop every shard untouched for longer;
+        * ``max_bytes`` -- then drop oldest-first until the remaining
+          shard bytes fit.
+
+        **Failure-log awareness**: a success record supersedes any
+        older failure under the same key (:meth:`get_failure` hides
+        it).  Evicting that success would resurface the phantom
+        failure, so prune rewrites ``failures.jsonl`` dropping every
+        record whose key loses its success here -- those points return
+        to plain cache misses, not to bogus retry-budget debt.
+
+        ``dry_run`` computes the full report without touching disk.
+        Returns ``{"evicted_shards", "evicted_records",
+        "evicted_bytes", "kept_shards", "kept_bytes",
+        "dropped_failures", "dry_run"}``.
+
+        Prune assumes cooperating writers are quiescent (the serving
+        process owns its store); racing an append against an eviction
+        loses the appended record with the shard.
+        """
+        if max_bytes is None and max_age_days is None:
+            raise ValueError(
+                "prune needs max_bytes= and/or max_age_days=")
+        if self.path.exists():
+            raise ValueError(
+                "prune requires the sharded layout; run migrate() "
+                "(`repro audit --migrate-store`) first")
+        shards = []
+        if self.shards_dir.is_dir():
+            for path in sorted(self.shards_dir.glob("*.jsonl")):
+                stat = path.stat()
+                shards.append((stat.st_mtime, stat.st_size, path))
+        shards.sort()  # oldest first
+        now = time.time()
+        evict: list[tuple[float, int, Path]] = []
+        kept = list(shards)
+        if max_age_days is not None:
+            horizon = now - max_age_days * 86400.0
+            evict = [s for s in kept if s[0] < horizon]
+            kept = [s for s in kept if s[0] >= horizon]
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in kept)
+            while kept and total > max_bytes:
+                oldest = kept.pop(0)
+                evict.append(oldest)
+                total -= oldest[1]
+        evicted_keys = set()
+        for _, _, path in evict:
+            stem = path.stem
+            evicted_keys.update(
+                k for k in self._index if k.startswith(stem))
+        # Walk the on-disk failure log, not the in-memory dict: a
+        # success superseded its failure in memory at put() time, but
+        # the line is still on disk and would resurface on reload once
+        # the success is gone.
+        dropped_failures: set[str] = set()
+        kept_failures: list[dict] = []
+        if evicted_keys and self.failures_path.exists():
+            for record in self._parse_lines(self.failures_path):
+                if record["key"] in evicted_keys:
+                    dropped_failures.add(record["key"])
+                else:
+                    kept_failures.append(record)
+        report = {
+            "evicted_shards": sorted(p.name for _, _, p in evict),
+            "evicted_records": len(evicted_keys),
+            "evicted_bytes": sum(size for _, size, _ in evict),
+            "kept_shards": len(kept),
+            "kept_bytes": sum(size for _, size, _ in kept),
+            "dropped_failures": len(dropped_failures),
+            "dry_run": dry_run,
+        }
+        if dry_run or not evict:
+            return report
+        if dropped_failures:
+            # Atomic rewrite: the log shrinks or the old one survives.
+            tmp = self.failures_path.with_suffix(".jsonl.tmp")
+            with open(tmp, "w") as sink:
+                for record in kept_failures:
+                    sink.write(json.dumps(record, sort_keys=True)
+                               + "\n")
+            os.replace(tmp, self.failures_path)
+        for _, _, path in evict:
+            path.unlink(missing_ok=True)
+        for key in evicted_keys:
+            self._index.pop(key, None)
+            self._failures.pop(key, None)
+        return report
 
     def verify(self) -> dict:
         """Re-parse every record file against the result schema.

@@ -24,10 +24,15 @@ import signal
 import threading
 import time
 import traceback
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 
+from repro.api.cancel import CancelToken
 from repro.api.execute import (
     DEFAULT_MAX_CYCLES,
     apply_overrides,
@@ -50,6 +55,7 @@ __all__ = [
     "SweepRunner",
     "apply_overrides",
     "execute_point",
+    "point_worker",
 ]
 
 #: Pre-1.5 name of :func:`repro.api.execute.execute_workload` (same
@@ -70,7 +76,16 @@ def _raise_point_timeout(signum, frame):
     raise _PointTimeout()
 
 
-def _worker(point: Workload, base_cfg: CoreConfig | None,
+def _pool_worker_init() -> None:
+    """Pool workers ignore SIGINT: a terminal Ctrl-C reaches the whole
+    process group, and the *parent* owns the shutdown story (cooperative
+    cancellation or a clean drain) -- a worker that dies mid-point to
+    the shared signal would break the pool instead.  Workers stay bound
+    by their per-point SIGALRM budgets and die with the parent."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def point_worker(point: Workload, base_cfg: CoreConfig | None,
             max_cycles: int | None,
             timeout: float | None = None,
             engine: str | None = None,
@@ -117,12 +132,17 @@ def _worker(point: Workload, base_cfg: CoreConfig | None,
             signal.signal(signal.SIGALRM, old_handler)
 
 
+#: Pre-1.9 private name of :func:`point_worker` (same function; it went
+#: public as the serve layer's executor-bridge entry point).
+_worker = point_worker
+
+
 @dataclass
 class Outcome:
     """One point's fate in a campaign."""
 
     point: Workload
-    status: str                  # "ok" | "error" | "timeout"
+    status: str                  # "ok" | "error" | "timeout" | "cancelled"
     result: Result | None = None
     error: str | None = None
     seconds: float = 0.0
@@ -158,6 +178,10 @@ class Campaign:
     #: Triage accounting (``Session.map(fidelity="triage")``): point /
     #: estimated / selected counts.  ``None`` for ordinary campaigns.
     triage: dict | None = None
+    #: True when the campaign stopped early -- a tripped
+    #: :class:`~repro.api.cancel.CancelToken` or a KeyboardInterrupt --
+    #: so undispatched points carry ``"cancelled"`` outcomes.
+    interrupted: bool = False
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -186,6 +210,10 @@ class Campaign:
         return sum(1 for o in self.outcomes if o.status == "timeout")
 
     @property
+    def cancelled_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cancelled")
+
+    @property
     def cached_count(self) -> int:
         return sum(o.cached for o in self.outcomes)
 
@@ -201,6 +229,8 @@ class Campaign:
             "ok": self.ok_count,
             "errors": self.error_count,
             "timeouts": self.timeout_count,
+            "cancelled": self.cancelled_count,
+            "interrupted": self.interrupted,
             "cached_count": self.cached_count,
             "hit_rate": round(self.hit_rate, 4),
             "seconds": round(self.seconds, 3),
@@ -255,11 +285,23 @@ class SweepRunner:
         #: override still wins.  Part of every cache key.
         self.engine = engine
 
-    def run(self, spec_or_points, progress=None) -> Campaign:
+    def run(self, spec_or_points, progress=None,
+            cancel: CancelToken | None = None) -> Campaign:
         """Execute a :class:`SweepSpec` or an explicit list of points.
 
         ``progress(outcome, done, total)`` is called as each outcome
         lands (cache hits first, then live results in completion order).
+
+        ``cancel`` is a cooperative :class:`~repro.api.cancel.
+        CancelToken`: once tripped, no further point is dispatched --
+        in-flight points drain (bounded by their own timeouts, results
+        kept and cached) and every undispatched point lands as a
+        ``"cancelled"`` outcome.  A KeyboardInterrupt (SIGINT without a
+        token) is handled the same way, except in-flight workers are
+        terminated instead of drained; either way the campaign returns
+        with :attr:`Campaign.interrupted` set instead of raising, the
+        failure log holds everything that already failed, and no pool
+        worker is orphaned.
         """
         if isinstance(spec_or_points, SweepSpec):
             points = spec_or_points.points()
@@ -295,23 +337,32 @@ class SweepRunner:
                 progress(outcomes[index], done, len(points))
         done = len(outcomes)
 
+        interrupted = False
         if pending:
             serial = self.workers is not None and self.workers <= 1
             execute = self._run_serial if serial else self._run_parallel
-            for index, outcome in execute(pending):
+            stream = execute(pending, cancel)
+            while True:
+                try:
+                    index, outcome = next(stream)
+                except StopIteration as stop:
+                    interrupted = bool(stop.value)
+                    break
                 outcomes[index] = outcome
                 if outcome.ok and not outcome.cached and \
                         self.cache is not None:
                     self.cache.put(outcome.key, outcome.point,
                                    outcome.result, outcome.seconds,
                                    version)
-                elif not outcome.ok and self.cache is not None and \
+                elif outcome.status in ("error", "timeout") and \
+                        self.cache is not None and \
                         outcome.key is not None:
                     # Resume hook: failures are never served as results
                     # (the next campaign still retries them), but the
                     # store remembers the last failed outcome per key so
                     # `repro audit` can classify error/timeout gaps and
-                    # budget retries from the store alone.
+                    # budget retries from the store alone.  Cancelled
+                    # points never ran: they are not failures.
                     self.cache.put_failure(
                         outcome.key, outcome.point, outcome.status,
                         outcome.error, outcome.seconds, version)
@@ -326,37 +377,95 @@ class SweepRunner:
 
         ordered = [outcomes[i] for i in sorted(outcomes)]
         campaign = Campaign(outcomes=ordered,
-                            seconds=time.perf_counter() - start)
+                            seconds=time.perf_counter() - start,
+                            interrupted=interrupted)
         if _obs.ENABLED:
             campaign.obs = campaign_obs(ordered, campaign.seconds)
         return campaign
 
-    def _run_serial(self, pending):
+    def _run_serial(self, pending, cancel: CancelToken | None = None):
         obs_dir = _obs.sink_dir()
+        interrupted = False
         for index, point, key in pending:
-            status, payload, seconds = _worker(point, self.base_cfg,
-                                               self.max_cycles,
-                                               self.timeout, self.engine,
-                                               obs_dir)
+            if interrupted or (cancel is not None and cancel.cancelled):
+                yield index, Outcome(
+                    point=point, status="cancelled", key=key,
+                    error="interrupted before dispatch" if interrupted
+                    else "cancelled before dispatch")
+                continue
+            try:
+                status, payload, seconds = point_worker(
+                    point, self.base_cfg, self.max_cycles,
+                    self.timeout, self.engine, obs_dir)
+            except KeyboardInterrupt:
+                interrupted = True
+                yield index, Outcome(
+                    point=point, status="cancelled", key=key,
+                    error="interrupted mid-run (SIGINT)")
+                continue
             yield index, self._outcome(point, key, status, payload, seconds)
+        return interrupted
 
-    def _run_parallel(self, pending):
+    def _run_parallel(self, pending, cancel: CancelToken | None = None):
         import os
         workers = self.workers or os.cpu_count() or 1
         workers = min(workers, len(pending))
         obs_dir = _obs.sink_dir()
-        executor = ProcessPoolExecutor(max_workers=workers)
+        executor = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_pool_worker_init)
         futures = [(index, point, key,
-                    executor.submit(_worker, point, self.base_cfg,
+                    executor.submit(point_worker, point, self.base_cfg,
                                     self.max_cycles, self.timeout,
                                     self.engine, obs_dir))
                    for index, point, key in pending]
         abandoned = False
+        interrupted = False
+        # Eager cancellation: workers drain the executor queue in the
+        # same FIFO order this loop awaits futures, so by the time the
+        # loop *reaches* a position its future is usually already
+        # running -- a lazy per-iteration ``future.cancel()`` loses
+        # that race every time and the whole campaign drains.  A tiny
+        # watcher thread reacts the moment the token trips and sweeps
+        # ``cancel()`` over every still-queued future at once; the loop
+        # below then just observes ``future.cancelled()``.
+        watch_stop = threading.Event()
+        watcher = None
+        if cancel is not None:
+            def _watch() -> None:
+                while not watch_stop.is_set():
+                    if cancel.wait(0.05):
+                        for _, _, _, queued in futures:
+                            queued.cancel()
+                        return
+            watcher = threading.Thread(
+                target=_watch, name="sweep-cancel-watcher", daemon=True)
+            watcher.start()
         try:
-            for index, point, key, future in futures:
+            for pos, (index, point, key, future) in enumerate(futures):
+                if interrupted:
+                    future.cancel()
+                if future.cancelled():
+                    # Never started: free to drop.  Started points keep
+                    # draining (token path) so their results land.
+                    yield index, Outcome(
+                        point=point, status="cancelled", key=key,
+                        error="cancelled before dispatch")
+                    continue
+                if interrupted:
+                    # Its worker was terminated by the interrupt below.
+                    yield index, Outcome(
+                        point=point, status="cancelled", key=key,
+                        error="interrupted mid-run (SIGINT)")
+                    continue
                 try:
                     status, payload, seconds = self._await(
                         future, pool_wedged=abandoned)
+                except CancelledError:
+                    # The watcher won a race against this very future.
+                    yield index, Outcome(
+                        point=point, status="cancelled", key=key,
+                        error="cancelled before dispatch")
+                    continue
                 except _PoolWedged:
                     future.cancel()
                     yield index, Outcome(
@@ -377,12 +486,34 @@ class SweepRunner:
                         point=point, status="error", key=key,
                         error="worker pool broke (worker died?)")
                     continue
+                except KeyboardInterrupt:
+                    # Workers ignore SIGINT (initializer), so the pool
+                    # is still intact here: cancel everything queued,
+                    # terminate the in-flight workers, report the rest
+                    # as cancelled.  Terminated processes join fast, so
+                    # the finally-shutdown below cannot orphan them.
+                    interrupted = True
+                    for _, _, _, pending_future in futures[pos + 1:]:
+                        pending_future.cancel()
+                    for proc in list(getattr(executor, "_processes",
+                                             {}).values()):
+                        proc.terminate()
+                    yield index, Outcome(
+                        point=point, status="cancelled", key=key,
+                        error="interrupted mid-run (SIGINT)")
+                    continue
                 yield index, self._outcome(point, key, status, payload,
                                            seconds)
         finally:
+            watch_stop.set()
+            if watcher is not None:
+                watcher.join(timeout=1.0)
             # Abandoned workers may still be simulating; don't block on
-            # them, but reap cleanly when everything completed.
-            executor.shutdown(wait=not abandoned, cancel_futures=abandoned)
+            # them, but reap cleanly when everything completed (or was
+            # terminated by an interrupt).
+            executor.shutdown(wait=not abandoned,
+                              cancel_futures=abandoned or interrupted)
+        return interrupted
 
     def _await(self, future, pool_wedged: bool = False):
         """Wait for one future, with a hung-worker backstop.

@@ -60,6 +60,7 @@ REPRO_ALL = [
 ]
 
 REPRO_API_ALL = [
+    "CancelToken",
     "DEFAULT_MAX_CYCLES",
     "FPU_DEPTH_KEY",
     "OVERRIDABLE_FIELDS",

@@ -30,6 +30,7 @@ def load_example(name: str):
     "multicore_stencil",
     "multicluster_scaling",
     "campaign_audit",
+    "serve_quickstart",
 ])
 def test_example_runs(name, capsys):
     module = load_example(name)
